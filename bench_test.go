@@ -1,0 +1,347 @@
+package puno
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablation benches DESIGN.md calls out and microbenchmarks of the
+// substrates. Each figure bench runs the relevant workload x scheme sweep
+// at reduced scale (the full-scale numbers are produced by
+// cmd/experiments) and reports the headline quantity of that figure as a
+// custom metric, so `go test -bench . -benchmem` regenerates the whole
+// evaluation in miniature.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+const benchScale = 0.2 // fraction of each profile's full transaction count
+
+func benchConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Seed = 12345
+	return cfg
+}
+
+// benchSweep runs the given schemes over all eight workloads at reduced
+// scale, once per benchmark iteration.
+func benchSweep(b *testing.B, schemes []Scheme) *Sweep {
+	b.Helper()
+	var sweep *Sweep
+	for i := 0; i < b.N; i++ {
+		var err error
+		sweep, err = RunSweep(benchConfig(), ScaledWorkloads(benchScale), schemes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sweep
+}
+
+// hcMeanNormalized extracts the high-contention mean of metric, normalized
+// to baseline — the number the paper quotes for each figure.
+func hcMeanNormalized(s *Sweep, scheme Scheme, metric func(*Result) float64) float64 {
+	var sum float64
+	var n int
+	for _, wl := range s.Workloads {
+		if !wl.HighContention() {
+			continue
+		}
+		base := metric(s.Results[wl.Name()][SchemeBaseline])
+		if base == 0 {
+			continue
+		}
+		sum += metric(s.Results[wl.Name()][scheme]) / base
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// BenchmarkTable1 regenerates Table I: baseline abort rates per workload.
+func BenchmarkTable1(b *testing.B) {
+	sweep := benchSweep(b, []Scheme{SchemeBaseline})
+	for _, wl := range sweep.Workloads {
+		r := sweep.Results[wl.Name()][SchemeBaseline]
+		b.ReportMetric(100*r.AbortRate(), "abort%/"+wl.Name())
+	}
+}
+
+// BenchmarkTable2 renders the configuration table (no simulation).
+func BenchmarkTable2(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(Table2(DefaultConfig()).String())
+	}
+	b.ReportMetric(float64(n), "chars")
+}
+
+// BenchmarkTable3 regenerates Table III: PUNO area/power overhead.
+func BenchmarkTable3(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = Table3(16)
+	}
+	if len(s) == 0 {
+		b.Fatal("empty table")
+	}
+	// The paper's headline: 0.41% area, 0.31% power.
+	b.ReportMetric(0.41, "paper-area-%")
+	b.ReportMetric(0.31, "paper-power-%")
+}
+
+// BenchmarkFig2 regenerates Fig. 2: the fraction of transactional GETX
+// accesses that incur false aborting under the baseline.
+func BenchmarkFig2(b *testing.B) {
+	sweep := benchSweep(b, []Scheme{SchemeBaseline})
+	var hc float64
+	var n int
+	for _, wl := range sweep.Workloads {
+		r := sweep.Results[wl.Name()][SchemeBaseline]
+		b.ReportMetric(100*r.FalseAbortFraction(), "false%/"+wl.Name())
+		if wl.HighContention() {
+			hc += 100 * r.FalseAbortFraction()
+			n++
+		}
+	}
+	b.ReportMetric(hc/float64(n), "false%/high-contention-mean")
+}
+
+// BenchmarkFig3 regenerates Fig. 3: the distribution of transactions
+// aborted unnecessarily per false-aborting request.
+func BenchmarkFig3(b *testing.B) {
+	sweep := benchSweep(b, []Scheme{SchemeBaseline})
+	var events, victims uint64
+	maxMult := 0
+	for _, wl := range sweep.Workloads {
+		for k, c := range sweep.Results[wl.Name()][SchemeBaseline].FalseAbortHist {
+			events += c
+			victims += uint64(k) * c
+			if k > maxMult {
+				maxMult = k
+			}
+		}
+	}
+	if events == 0 {
+		b.Fatal("no false-aborting events at bench scale")
+	}
+	b.ReportMetric(float64(victims)/float64(events), "victims/event")
+	b.ReportMetric(float64(maxMult), "max-victims")
+}
+
+// BenchmarkFig10 regenerates Fig. 10: normalized transaction aborts for
+// the four schemes (high-contention mean; paper: PUNO 0.39).
+func BenchmarkFig10(b *testing.B) {
+	sweep := benchSweep(b, Schemes())
+	metric := func(r *Result) float64 { return float64(r.Aborts) }
+	for _, s := range Schemes() {
+		b.ReportMetric(hcMeanNormalized(sweep, s, metric), "norm-aborts/"+s.String())
+	}
+}
+
+// BenchmarkFig11 regenerates Fig. 11: normalized on-chip network traffic
+// (paper: PUNO 0.67 in high contention).
+func BenchmarkFig11(b *testing.B) {
+	sweep := benchSweep(b, Schemes())
+	metric := func(r *Result) float64 { return float64(r.Net.TotalTraversals()) }
+	for _, s := range Schemes() {
+		b.ReportMetric(hcMeanNormalized(sweep, s, metric), "norm-traffic/"+s.String())
+	}
+}
+
+// BenchmarkFig12 regenerates Fig. 12: normalized directory blocking while
+// servicing transactional GETX (paper: PUNO 0.82).
+func BenchmarkFig12(b *testing.B) {
+	sweep := benchSweep(b, Schemes())
+	metric := func(r *Result) float64 { return float64(r.DirTxGETXBusy) }
+	for _, s := range Schemes() {
+		b.ReportMetric(hcMeanNormalized(sweep, s, metric), "norm-dirblock/"+s.String())
+	}
+}
+
+// BenchmarkFig13 regenerates Fig. 13: normalized execution time (paper:
+// PUNO 0.88 in high contention).
+func BenchmarkFig13(b *testing.B) {
+	sweep := benchSweep(b, Schemes())
+	metric := func(r *Result) float64 { return float64(r.Cycles) }
+	for _, s := range Schemes() {
+		b.ReportMetric(hcMeanNormalized(sweep, s, metric), "norm-time/"+s.String())
+	}
+}
+
+// BenchmarkFig14 regenerates Fig. 14: the normalized good/discarded
+// transaction cycle ratio (paper: PUNO 1.65x baseline).
+func BenchmarkFig14(b *testing.B) {
+	sweep := benchSweep(b, Schemes())
+	metric := func(r *Result) float64 { return r.GDRatio() }
+	for _, s := range Schemes() {
+		b.ReportMetric(hcMeanNormalized(sweep, s, metric), "norm-gd/"+s.String())
+	}
+}
+
+// ---- ablation benches (DESIGN.md) ---------------------------------------
+
+// BenchmarkAblationPUNOParts separates PUNO's two mechanisms: predictive
+// unicast alone, notification alone, and both.
+func BenchmarkAblationPUNOParts(b *testing.B) {
+	schemes := []Scheme{SchemeBaseline, SchemeUnicastOnly, SchemeNotifyOnly, SchemePUNO}
+	sweep := benchSweep(b, schemes)
+	metric := func(r *Result) float64 { return float64(r.UnnecessaryAborts() + 1) }
+	for _, s := range schemes[1:] {
+		b.ReportMetric(hcMeanNormalized(sweep, s, metric), "norm-unnecessary/"+s.String())
+	}
+}
+
+// BenchmarkAblationValidity sweeps the P-Buffer validity timeout
+// multiplier on labyrinth, the workload most sensitive to prediction
+// staleness.
+func BenchmarkAblationValidity(b *testing.B) {
+	wl := MustWorkload("labyrinth").WithTxPerCPU(4)
+	for _, mult := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("mult%d", mult), func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.Scheme = SchemePUNO
+				cfg.ValidityTimeoutMult = mult
+				var err error
+				res, err = Run(cfg, wl)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.UnnecessaryAborts()), "unnecessary-aborts")
+			b.ReportMetric(float64(res.Cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationSignatures compares exact read/write sets against
+// Bloom-filter signatures (LogTM-SE style) on intruder.
+func BenchmarkAblationSignatures(b *testing.B) {
+	wl := MustWorkload("intruder").WithTxPerCPU(15)
+	for _, bits := range []int{0, 512, 2048} {
+		name := "exact"
+		if bits > 0 {
+			name = fmt.Sprintf("sig%d", bits)
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.SignatureBits = bits
+				var err error
+				res, err = Run(cfg, wl)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Aborts), "aborts")
+			b.ReportMetric(float64(res.Cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationGuardBand sweeps the notification guard band (the
+// paper uses twice the average cache-to-cache latency) on bayes.
+func BenchmarkAblationGuardBand(b *testing.B) {
+	wl := MustWorkload("bayes").WithTxPerCPU(6)
+	for _, guard := range []Time{1, 23, 46, 184} {
+		b.Run(fmt.Sprintf("guard%d", guard), func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.Scheme = SchemePUNO
+				cfg.NotifyGuardOverride = guard
+				var err error
+				res, err = Run(cfg, wl)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Cycles), "cycles")
+			b.ReportMetric(float64(res.Aborts), "aborts")
+		})
+	}
+}
+
+// ---- substrate microbenchmarks ------------------------------------------
+
+// BenchmarkEngineEvents measures raw discrete-event throughput.
+func BenchmarkEngineEvents(b *testing.B) {
+	e := sim.NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			e.After(1, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(1, tick)
+	e.Run(sim.Infinity)
+}
+
+// BenchmarkMeshSend measures interconnect message throughput.
+func BenchmarkMeshSend(b *testing.B) {
+	eng := sim.NewEngine()
+	m := noc.New(noc.DefaultConfig(), eng)
+	for i := 0; i < 16; i++ {
+		m.Attach(i, func(any) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(i%16, (i+5)%16, noc.ClassRequest, 1, nil)
+		if i%1024 == 0 {
+			eng.Run(sim.Infinity)
+		}
+	}
+	eng.Run(sim.Infinity)
+}
+
+// BenchmarkL1Access measures cache array lookup throughput.
+func BenchmarkL1Access(b *testing.B) {
+	c := cache.New(cache.Config{SizeBytes: 32 * 1024, Ways: 4})
+	for i := 0; i < 256; i++ {
+		c.Insert(mem.Line(uint64(i)*mem.LineBytes), cache.Shared, mem.LineData{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(mem.Line(uint64(i%256) * mem.LineBytes))
+	}
+}
+
+// BenchmarkSignatureInsertTest measures Bloom-filter conflict checks.
+func BenchmarkSignatureInsertTest(b *testing.B) {
+	s := htm.NewSignature(2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := mem.Line(uint64(i%4096) * mem.LineBytes)
+		s.InsertRead(l)
+		if s.TestWrite(l) {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// BenchmarkFullMachine measures end-to-end simulation speed (simulated
+// cycles per wall second is the interesting derived number).
+func BenchmarkFullMachine(b *testing.B) {
+	wl := MustWorkload("vacation").WithTxPerCPU(10)
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Run(benchConfig(), wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Cycles), "sim-cycles")
+}

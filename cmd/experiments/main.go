@@ -1,0 +1,105 @@
+// Command experiments regenerates the paper's tables and figures. With no
+// flags it runs the complete evaluation (all eight workloads, all four
+// schemes) and prints every table; -exp selects one experiment, -csv emits
+// machine-readable output, and -scale shrinks or grows the workloads.
+//
+// Usage:
+//
+//	experiments                 # everything (several minutes)
+//	experiments -exp fig10      # one figure
+//	experiments -exp table3     # no simulation needed
+//	experiments -scale 0.25     # quarter-size workloads for a quick look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1|table2|table3|fig2|fig3|fig10|fig11|fig12|fig13|fig14|summary|all")
+		seed  = flag.Uint64("seed", 12345, "simulation seed")
+		scale = flag.Float64("scale", 1.0, "workload size multiplier")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	cfg := puno.DefaultConfig()
+	cfg.Seed = *seed
+	want := strings.ToLower(*exp)
+
+	// Table II and Table III need no simulation.
+	if want == "table2" {
+		printTable(puno.Table2(cfg), *csv)
+		return
+	}
+	if want == "table3" {
+		fmt.Print(puno.Table3(cfg.Nodes))
+		return
+	}
+
+	needsAll := want == "all" || want == "fig10" || want == "fig11" ||
+		want == "fig12" || want == "fig13" || want == "fig14" || want == "summary"
+	schemes := puno.Schemes()
+	if !needsAll {
+		schemes = []puno.Scheme{puno.SchemeBaseline}
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "running %d workloads x %d schemes (seed %d, scale %.2f)...\n",
+		len(puno.Workloads()), len(schemes), *seed, *scale)
+	sweep, err := puno.RunSweep(cfg, puno.ScaledWorkloads(*scale), schemes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sweep done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	show := func(name string, t *puno.Table) {
+		if want == "all" || want == name {
+			printTable(t, *csv)
+			fmt.Println()
+		}
+	}
+	show("table1", sweep.Table1())
+	if want == "all" {
+		printTable(puno.Table2(cfg), *csv)
+		fmt.Println()
+	}
+	show("fig2", sweep.Fig2())
+	if want == "all" || want == "fig3" {
+		fmt.Println(sweep.Fig3All())
+	}
+	show("fig10", sweep.Fig10())
+	show("fig11", sweep.Fig11())
+	show("fig12", sweep.Fig12())
+	show("fig13", sweep.Fig13())
+	show("fig14", sweep.Fig14())
+	if want == "all" {
+		fmt.Print(puno.Table3(cfg.Nodes))
+		fmt.Println()
+	}
+	if want == "all" || want == "summary" {
+		st := sweep.Summary()
+		fmt.Printf("== Headline summary (PUNO vs baseline; negative = reduction) ==\n")
+		fmt.Printf("high-contention: aborts %+.0f%%  traffic %+.0f%%  exec time %+.0f%%\n",
+			-100*st.AbortReductionHC, -100*st.TrafficReductionHC, -100*st.SpeedupHC)
+		fmt.Printf("all workloads:   aborts %+.0f%%  traffic %+.0f%%  exec time %+.0f%%\n",
+			-100*st.AbortReductionAll, -100*st.TrafficReductionAll, -100*st.SpeedupAll)
+		fmt.Printf("(paper: high-contention aborts -61%%, traffic -32%%, exec time -12%%)\n")
+	}
+}
+
+func printTable(t *puno.Table, csv bool) {
+	if csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+}

@@ -1,0 +1,148 @@
+// Command punosim runs one STAMP-profile workload on the simulated CMP
+// under a chosen contention-management scheme and prints the measurements.
+//
+// Usage:
+//
+//	punosim -workload labyrinth -scheme puno [-seed 1] [-txper 0] [-maxcycles N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+)
+
+func schemeByName(name string) (machine.Scheme, error) {
+	for _, s := range []machine.Scheme{
+		machine.SchemeBaseline, machine.SchemeBackoff, machine.SchemeRMWPred,
+		machine.SchemePUNO, machine.SchemeUnicastOnly, machine.SchemeNotifyOnly,
+		machine.SchemeATS, machine.SchemePUNOPush,
+	} {
+		if strings.EqualFold(s.String(), name) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", name)
+}
+
+func main() {
+	var (
+		workload  = flag.String("workload", "intruder", "STAMP profile: bayes|intruder|labyrinth|yada|genome|kmeans|ssca2|vacation")
+		scheme    = flag.String("scheme", "baseline", "baseline|backoff|rmw-pred|puno|puno-unicast-only|puno-notify-only|ats|puno-push")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		txper     = flag.Int("txper", 0, "transactions per node (0 = profile default)")
+		maxCycles = flag.Uint64("maxcycles", 0, "cycle budget (0 = default)")
+		quiet     = flag.Bool("q", false, "print only the summary line")
+		traceStr  = flag.String("trace", "", "print protocol trace lines containing this substring (e.g. a line address)")
+		vmult     = flag.Int("vmult", 0, "P-Buffer validity timeout multiplier (0 = default)")
+		maxwait   = flag.Uint64("maxwait", 0, "cap on notification-guided waits (0 = default)")
+		timeline  = flag.Uint64("timeline", 0, "sample interval in cycles; prints a dynamics table (0 = off)")
+	)
+	flag.Parse()
+
+	p, err := stamp.ByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *txper > 0 {
+		p = p.WithTxPerCPU(*txper)
+	}
+	s, err := schemeByName(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := machine.DefaultConfig()
+	cfg.Scheme = s
+	cfg.Seed = *seed
+	if *maxCycles > 0 {
+		cfg.MaxCycles = sim.Time(*maxCycles)
+	}
+	cfg.ValidityTimeoutMult = *vmult
+	if *timeline > 0 {
+		cfg.SampleInterval = sim.Time(*timeline)
+	}
+	if *maxwait > 0 {
+		cfg.NotifyMaxWait = sim.Time(*maxwait)
+	}
+	if *traceStr != "" {
+		cfg.TraceFn = func(cy sim.Time, node int, ev string) {
+			if strings.Contains(ev, *traceStr) {
+				fmt.Printf("%10d n%02d %s\n", cy, node, ev)
+			}
+		}
+	}
+	m, err := machine.New(cfg, p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	res, err := m.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run failed after %v (%d events, cycle %d): %v\n",
+			time.Since(start), m.Engine().Processed(), m.Engine().Now(), err)
+		m.DumpState(os.Stderr)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("%s/%s: cycles=%d commits=%d aborts=%d abort%%=%.1f false%%=%.1f traffic=%d wall=%v\n",
+		res.Workload, res.Scheme, res.Cycles, res.Commits, res.Aborts,
+		100*res.AbortRate(), 100*res.FalseAbortFraction(),
+		res.Net.TotalTraversals(), wall.Round(time.Millisecond))
+	if *quiet {
+		return
+	}
+	fmt.Printf("  txGETX=%d outcomes: clean=%d resolved=%d nackOnly=%d falseAbort=%d\n",
+		res.TxGETXIssued, res.GETXOutcomes[machine.OutcomeClean],
+		res.GETXOutcomes[machine.OutcomeResolvedAborts],
+		res.GETXOutcomes[machine.OutcomeNackOnly],
+		res.GETXOutcomes[machine.OutcomeFalseAbort])
+	fmt.Printf("  abort causes: txGETX=%d txGETS=%d nonTx=%d overflow=%d unnecessary=%d\n",
+		res.AbortsByCause[machine.CauseTxGETX], res.AbortsByCause[machine.CauseTxGETS],
+		res.AbortsByCause[machine.CauseNonTx], res.AbortsByCause[machine.CauseOverflow],
+		res.UnnecessaryAborts())
+	fmt.Printf("  G/D=%.2f dirBusyTxGETX=%d busyNacks=%d unicasts=%d mispred=%d notified=%d retries=%d\n",
+		res.GDRatio(), res.DirTxGETXBusy, res.DirBusyNacks,
+		res.DirUnicasts, res.Mispredictions, res.NotifiedBackoffs, res.Retries)
+	fmt.Printf("  events=%d (%.0f ev/us)\n", m.Engine().Processed(),
+		float64(m.Engine().Processed())/float64(wall.Microseconds()+1))
+	if len(res.Timeline) > 0 {
+		fmt.Printf("  %-10s %8s %8s %10s %7s\n", "cycle", "commits", "aborts", "traffic", "liveTx")
+		for _, smp := range res.Timeline {
+			fmt.Printf("  %-10d %8d %8d %10d %7d\n", smp.Cycle, smp.Commits, smp.Aborts, smp.Traffic, smp.LiveTxs)
+		}
+	}
+	var noT, inval, reqOld, lowc, parted, uni uint64
+	minConf, maxBen := 1.0, 0.0
+	for _, p := range m.Predictors() {
+		if p == nil {
+			continue
+		}
+		noT += p.FallbackNoUD
+		inval += p.FallbackInvalid
+		reqOld += p.FallbackReqOlder
+		lowc += p.FallbackLowConf
+		parted += p.PartialKnowledge
+		uni += p.Unicasts
+		if c := p.Confidence(); c < minConf {
+			minConf = c
+		}
+		if b := p.Benefit(); b > maxBen {
+			maxBen = b
+		}
+	}
+	if uni+lowc > 0 {
+		fmt.Printf("  predictor: unicasts=%d fallbacks{noTargets=%d allInvalid=%d reqOlder=%d lowConf=%d} partial=%d minConf=%.2f maxBenefit=%.2f\n",
+			uni, noT, inval, reqOld, lowc, parted, minConf, maxBen)
+	}
+}

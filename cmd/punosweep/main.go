@@ -1,0 +1,102 @@
+// Command punosweep runs parameter sweeps around the PUNO design points:
+// the P-Buffer validity timeout, the notification guard band, mesh size,
+// and the contention-management scheme set, printing one table per sweep.
+//
+//	punosweep -sweep validity -workload labyrinth
+//	punosweep -sweep guard    -workload bayes
+//	punosweep -sweep mesh     -workload intruder
+//	punosweep -sweep schemes  -workload yada
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		sweep    = flag.String("sweep", "schemes", "validity|guard|mesh|schemes")
+		workload = flag.String("workload", "intruder", "STAMP profile")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		txper    = flag.Int("txper", 0, "transactions per node (0 = profile default)")
+	)
+	flag.Parse()
+
+	wl, err := puno.WorkloadByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *txper > 0 {
+		wl = wl.WithTxPerCPU(*txper)
+	}
+	base := puno.DefaultConfig()
+	base.Seed = *seed
+
+	row := func(label string, res *puno.Result) {
+		fmt.Printf("%-22s cycles=%-9d aborts=%-6d abort%%=%5.1f false%%=%4.1f unnecessary=%-5d traffic=%d\n",
+			label, res.Cycles, res.Aborts, 100*res.AbortRate(),
+			100*res.FalseAbortFraction(), res.UnnecessaryAborts(), res.Net.TotalTraversals())
+	}
+	must := func(res *puno.Result, err error) *puno.Result {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return res
+	}
+
+	switch *sweep {
+	case "validity":
+		fmt.Printf("P-Buffer validity timeout sweep on %s (scheme PUNO)\n", wl.Name())
+		for _, mult := range []int{1, 2, 4, 8, 16, 32, 64} {
+			cfg := base
+			cfg.Scheme = puno.SchemePUNO
+			cfg.ValidityTimeoutMult = mult
+			row(fmt.Sprintf("timeout %2dx avg-tx", mult), must(puno.Run(cfg, wl)))
+		}
+		cfg := base
+		cfg.Scheme = puno.SchemePUNO
+		cfg.DisableValidity = true
+		row("no decay", must(puno.Run(cfg, wl)))
+
+	case "guard":
+		fmt.Printf("notification guard-band sweep on %s (scheme PUNO; paper: 2x avg cache-to-cache)\n", wl.Name())
+		for _, g := range []puno.Time{1, 12, 23, 46, 92, 184, 368} {
+			cfg := base
+			cfg.Scheme = puno.SchemePUNO
+			cfg.NotifyGuardOverride = g
+			row(fmt.Sprintf("guard %3d cycles", g), must(puno.Run(cfg, wl)))
+		}
+
+	case "mesh":
+		fmt.Printf("machine-size sweep on %s (baseline vs PUNO)\n", wl.Name())
+		for _, dim := range []struct{ w, h int }{{2, 2}, {4, 2}, {4, 4}, {8, 4}} {
+			for _, s := range []puno.Scheme{puno.SchemeBaseline, puno.SchemePUNO} {
+				cfg := base
+				cfg.Scheme = s
+				cfg.Mesh.Width, cfg.Mesh.Height = dim.w, dim.h
+				cfg.Nodes = dim.w * dim.h
+				row(fmt.Sprintf("%dx%d %v", dim.w, dim.h, s), must(puno.Run(cfg, wl)))
+			}
+		}
+
+	case "schemes":
+		fmt.Printf("all schemes on %s\n", wl.Name())
+		for _, s := range []puno.Scheme{
+			puno.SchemeBaseline, puno.SchemeBackoff, puno.SchemeRMWPred,
+			puno.SchemePUNO, puno.SchemeUnicastOnly, puno.SchemeNotifyOnly, puno.SchemeATS, puno.SchemePUNOPush,
+		} {
+			cfg := base
+			cfg.Scheme = s
+			row(s.String(), must(puno.Run(cfg, wl)))
+		}
+
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+}

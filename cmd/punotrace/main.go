@@ -1,0 +1,148 @@
+// Command punotrace records STAMP-profile workloads to portable trace
+// files, inspects them, and replays them on the simulator.
+//
+//	punotrace record -workload labyrinth -o labyrinth.trace
+//	punotrace info   -i labyrinth.trace
+//	punotrace run    -i labyrinth.trace -scheme puno
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "run":
+		run(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: punotrace record|info|run [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	workload := fs.String("workload", "intruder", "STAMP profile to record")
+	out := fs.String("o", "", "output file (default <workload>.trace)")
+	seed := fs.Uint64("seed", 1, "generation seed")
+	txper := fs.Int("txper", 0, "transactions per node (0 = profile default)")
+	nodes := fs.Int("nodes", 16, "node count")
+	fs.Parse(args)
+
+	wl, err := puno.WorkloadByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	if *txper > 0 {
+		wl = wl.WithTxPerCPU(*txper)
+	}
+	path := *out
+	if path == "" {
+		path = *workload + ".trace"
+	}
+	tr := puno.RecordTrace(wl, *nodes, *seed)
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := tr.Save(f); err != nil {
+		fatal(err)
+	}
+	s := tr.Summarize()
+	fmt.Printf("recorded %s: %d nodes, %d transactions, %d ops -> %s\n",
+		tr.Name(), tr.Nodes(), s.Transactions, s.Ops, path)
+}
+
+func loadFile(path string) *puno.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := puno.LoadTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	return tr
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "", "trace file")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("info: -i required"))
+	}
+	tr := loadFile(*in)
+	s := tr.Summarize()
+	fmt.Printf("workload %s  high-contention=%v  nodes=%d\n", tr.Name(), tr.HighContention(), tr.Nodes())
+	fmt.Printf("transactions=%d ops=%d reads=%d writes=%d incrs=%d compute-cycles=%d\n",
+		s.Transactions, s.Ops, s.Reads, s.Writes, s.Incrs, s.ComputeCyc)
+	var ids []int
+	for id := range s.DistinctTx {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Printf("  static tx %d: %d dynamic instances\n", id, s.DistinctTx[id])
+	}
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	in := fs.String("i", "", "trace file")
+	scheme := fs.String("scheme", "baseline", "contention-management scheme")
+	seed := fs.Uint64("seed", 1, "simulation seed (protocol jitter; the op streams come from the trace)")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("run: -i required"))
+	}
+	tr := loadFile(*in)
+
+	cfg := puno.DefaultConfig()
+	cfg.Seed = *seed
+	found := false
+	for _, s := range []puno.Scheme{
+		puno.SchemeBaseline, puno.SchemeBackoff, puno.SchemeRMWPred,
+		puno.SchemePUNO, puno.SchemeUnicastOnly, puno.SchemeNotifyOnly, puno.SchemeATS, puno.SchemePUNOPush,
+	} {
+		if strings.EqualFold(s.String(), *scheme) {
+			cfg.Scheme = s
+			found = true
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+
+	res, err := puno.Run(cfg, tr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s/%v: cycles=%d commits=%d aborts=%d abort%%=%.1f false%%=%.1f traffic=%d\n",
+		res.Workload, res.Scheme, res.Cycles, res.Commits, res.Aborts,
+		100*res.AbortRate(), 100*res.FalseAbortFraction(), res.Net.TotalTraversals())
+}

@@ -1,0 +1,83 @@
+// Dynamics: watch a contended run unfold over time. The machine samples
+// commits, aborts and traffic every interval; this example renders the
+// abort stream of the baseline and PUNO side by side as sparklines —
+// the baseline's repeated false-abort bursts versus PUNO's steadier
+// progress.
+//
+//	go run ./examples/dynamics [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	name := "bayes"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	wl, err := puno.WorkloadByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const interval = 5000
+	results := map[puno.Scheme]*puno.Result{}
+	for _, s := range []puno.Scheme{puno.SchemeBaseline, puno.SchemePUNO} {
+		cfg := puno.DefaultConfig()
+		cfg.Scheme = s
+		cfg.Seed = 42
+		cfg.SampleInterval = interval
+		res, err := puno.Run(cfg, wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[s] = res
+	}
+
+	fmt.Printf("%s: aborts per %d-cycle interval (each char ~ one interval)\n\n", name, interval)
+	for _, s := range []puno.Scheme{puno.SchemeBaseline, puno.SchemePUNO} {
+		res := results[s]
+		var peak uint64 = 1
+		for _, smp := range res.Timeline {
+			if smp.Aborts > peak {
+				peak = smp.Aborts
+			}
+		}
+		fmt.Printf("%-9v |%s| peak=%d/interval, total aborts=%d, finished at cycle %d\n",
+			s, spark(res.Timeline, peak), peak, res.Aborts, res.Cycles)
+	}
+	fmt.Println("\nlive transactions at each sample (concurrency view):")
+	for _, s := range []puno.Scheme{puno.SchemeBaseline, puno.SchemePUNO} {
+		res := results[s]
+		line := make([]byte, 0, len(res.Timeline))
+		for _, smp := range res.Timeline {
+			line = append(line, levelChar(uint64(smp.LiveTxs), 16))
+		}
+		fmt.Printf("%-9v |%s|\n", s, line)
+	}
+}
+
+func spark(samples []puno.Sample, peak uint64) string {
+	out := make([]byte, 0, len(samples))
+	for _, smp := range samples {
+		out = append(out, levelChar(smp.Aborts, peak))
+	}
+	return string(out)
+}
+
+func levelChar(v, peak uint64) byte {
+	const ramp = " .:-=+*#%@"
+	if peak == 0 {
+		return ' '
+	}
+	idx := int(v * uint64(len(ramp)-1) / peak)
+	if idx >= len(ramp) {
+		idx = len(ramp) - 1
+	}
+	return ramp[idx]
+}

@@ -1,0 +1,65 @@
+// Predictor tuning: inspect the PUNO directory predictor's internals across
+// the STAMP suite — unicast rate, measured prediction accuracy, and why
+// predictions fell back to multicast. This is the view a hardware architect
+// would use to size the P-Buffer validity timeout.
+//
+//	go run ./examples/predictor [validity-multiplier]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro"
+)
+
+func main() {
+	mult := 0 // package default
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil {
+			log.Fatalf("bad multiplier %q: %v", os.Args[1], err)
+		}
+		mult = v
+	}
+
+	fmt.Printf("%-10s %8s %8s %9s %9s %10s %10s %9s\n",
+		"workload", "TxGETX", "unicast", "mispred", "accuracy", "allInvalid", "reqOlder", "lowConf")
+	for _, wl := range puno.Workloads() {
+		cfg := puno.DefaultConfig()
+		cfg.Scheme = puno.SchemePUNO
+		cfg.Seed = 3
+		cfg.ValidityTimeoutMult = mult
+
+		m, err := puno.NewMachine(cfg, wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		var uni, mis, inval, reqOld, lowc uint64
+		for _, p := range m.Predictors() {
+			if p == nil {
+				continue
+			}
+			uni += p.Unicasts
+			mis += p.Mispreds
+			inval += p.FallbackInvalid
+			reqOld += p.FallbackReqOlder
+			lowc += p.FallbackLowConf
+		}
+		acc := 1.0
+		if uni > 0 {
+			acc = 1 - float64(mis)/float64(uni)
+		}
+		fmt.Printf("%-10s %8d %8d %9d %8.0f%% %10d %10d %9d\n",
+			wl.Name(), res.TxGETXIssued, uni, mis, 100*acc, inval, reqOld, lowc)
+	}
+	fmt.Println("\naccuracy = fraction of unicasts that were NACKed as predicted;")
+	fmt.Println("fallback columns say why the directory multicast instead of unicasting.")
+}

@@ -1,0 +1,49 @@
+// Quickstart: run one STAMP-profile workload under the baseline HTM and
+// under PUNO, and print what the paper's mechanism buys — fewer transaction
+// aborts, far fewer false aborts, and less on-chip traffic.
+//
+//	go run ./examples/quickstart [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	name := "intruder"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	wl, err := puno.WorkloadByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %q on the paper's 16-core CMP (Table II configuration)\n\n", wl.Name())
+	var base *puno.Result
+	for _, scheme := range []puno.Scheme{puno.SchemeBaseline, puno.SchemePUNO} {
+		cfg := puno.DefaultConfig()
+		cfg.Scheme = scheme
+		cfg.Seed = 42
+
+		res, err := puno.Run(cfg, wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10v cycles=%-9d commits=%-6d aborts=%-6d abort-rate=%5.1f%%  false-aborting-GETX=%4.1f%%  traffic=%d\n",
+			scheme, res.Cycles, res.Commits, res.Aborts, 100*res.AbortRate(),
+			100*res.FalseAbortFraction(), res.Net.TotalTraversals())
+		if scheme == puno.SchemeBaseline {
+			base = res
+		} else {
+			fmt.Printf("\nPUNO vs baseline: aborts %+.0f%%, traffic %+.0f%%, unnecessary aborts %d -> %d\n",
+				100*(float64(res.Aborts)/float64(base.Aborts)-1),
+				100*(float64(res.Net.TotalTraversals())/float64(base.Net.TotalTraversals())-1),
+				base.UnnecessaryAborts(), res.UnnecessaryAborts())
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package puno
+
+import (
+	"fmt"
+
+	"repro/internal/area"
+	"repro/internal/report"
+	"repro/internal/stamp"
+)
+
+// Table is an ASCII/CSV-renderable result table.
+type Table = report.Table
+
+// Sweep holds the results of running a set of workloads under a set of
+// schemes — the input to every figure driver.
+type Sweep struct {
+	Workloads []*Profile
+	Schemes   []Scheme
+	// Results[workload name][scheme]
+	Results map[string]map[Scheme]*Result
+}
+
+// RunSweep executes every workload under every scheme, starting from base
+// (whose Scheme field is overridden per run). Runs are deterministic in
+// base.Seed.
+func RunSweep(base Config, workloads []*Profile, schemes []Scheme) (*Sweep, error) {
+	s := &Sweep{
+		Workloads: workloads,
+		Schemes:   schemes,
+		Results:   make(map[string]map[Scheme]*Result),
+	}
+	for _, wl := range workloads {
+		s.Results[wl.Name()] = make(map[Scheme]*Result)
+		for _, sch := range schemes {
+			cfg := base
+			cfg.Scheme = sch
+			res, err := Run(cfg, wl)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", wl.Name(), sch, err)
+			}
+			s.Results[wl.Name()][sch] = res
+		}
+	}
+	return s, nil
+}
+
+// baseline fetches a workload's baseline result (every figure normalizes
+// against it).
+func (s *Sweep) baseline(wl string) *Result { return s.Results[wl][SchemeBaseline] }
+
+// metricTable renders one normalized-metric figure: a column per scheme,
+// a row per workload, plus high-contention and overall means.
+func (s *Sweep) metricTable(title string, metric func(*Result) float64) *Table {
+	header := []string{"workload"}
+	for _, sch := range s.Schemes {
+		header = append(header, sch.String())
+	}
+	t := report.NewTable(title, header...)
+	perScheme := make(map[Scheme][]float64)
+	perSchemeHC := make(map[Scheme][]float64)
+	for _, wl := range s.Workloads {
+		base := metric(s.baseline(wl.Name()))
+		row := []string{wl.Name()}
+		for _, sch := range s.Schemes {
+			v := metric(s.Results[wl.Name()][sch])
+			norm := 0.0
+			if base != 0 {
+				norm = v / base
+			}
+			row = append(row, report.Cell(norm))
+			perScheme[sch] = append(perScheme[sch], norm)
+			if wl.HighContention() {
+				perSchemeHC[sch] = append(perSchemeHC[sch], norm)
+			}
+		}
+		t.AddRow(row...)
+	}
+	hcRow := []string{"mean(high-cont)"}
+	allRow := []string{"mean(all)"}
+	for _, sch := range s.Schemes {
+		hcRow = append(hcRow, report.Cell(report.Mean(perSchemeHC[sch])))
+		allRow = append(allRow, report.Cell(report.Mean(perScheme[sch])))
+	}
+	t.AddRow(hcRow...)
+	t.AddRow(allRow...)
+	return t
+}
+
+// Table1 reproduces Table I: per-workload baseline abort rates, paper
+// versus measured.
+func (s *Sweep) Table1() *Table {
+	t := report.NewTable("Table I — benchmark abort rates (baseline)",
+		"workload", "paper abort %", "measured abort %", "commits", "aborts")
+	for _, wl := range s.Workloads {
+		r := s.baseline(wl.Name())
+		t.AddRow(wl.Name(),
+			fmt.Sprintf("%.1f", 100*wl.PaperAbortRate),
+			fmt.Sprintf("%.1f", 100*r.AbortRate()),
+			fmt.Sprintf("%d", r.Commits), fmt.Sprintf("%d", r.Aborts))
+	}
+	return t
+}
+
+// Table2 renders the simulated system configuration (the paper's Table II).
+func Table2(cfg Config) *Table {
+	t := report.NewTable("Table II — system configuration", "unit", "value")
+	t.AddRow("Cores", fmt.Sprintf("%d in-order cores, abstract ISA", cfg.Nodes))
+	t.AddRow("L1 cache", fmt.Sprintf("%d KB, %d-way, write-back, %d-cycle",
+		cfg.L1.SizeBytes/1024, cfg.L1.Ways, cfg.L1HitLatency))
+	t.AddRow("L2 cache", fmt.Sprintf("shared banked NUCA, %d-cycle bank latency", cfg.L2HitLatency))
+	t.AddRow("Coherence", "MESI directory (blocking, SGI-Origin style), static bank interleave")
+	t.AddRow("Memory", fmt.Sprintf("%d-cycle cold-miss latency", cfg.MemLatency))
+	t.AddRow("Network", fmt.Sprintf("%dx%d mesh, DOR, %d-stage routers, %d-cycle links",
+		cfg.Mesh.Width, cfg.Mesh.Height, cfg.Mesh.RouterStages, cfg.Mesh.LinkCycles))
+	t.AddRow("HTM", "eager versioning + eager conflict detection, timestamp policy")
+	t.AddRow("PUNO", fmt.Sprintf("%d-entry P-Buffer; %d-entry TxLB", cfg.Nodes, cfg.TxLBEntries))
+	return t
+}
+
+// Fig2 reproduces Fig. 2: the breakdown of transactional GETX accesses by
+// outcome under the baseline, per workload.
+func (s *Sweep) Fig2() *Table {
+	t := report.NewTable("Fig. 2 — transactional GETX outcome breakdown (baseline, % of accesses)",
+		"workload", "false-aborting", "nack-only", "resolved-aborts", "clean")
+	for _, wl := range s.Workloads {
+		r := s.baseline(wl.Name())
+		total := float64(r.TxGETXAccesses)
+		if total == 0 {
+			total = 1
+		}
+		pct := func(o GETXOutcome) string {
+			return fmt.Sprintf("%.1f", 100*float64(r.GETXOutcomes[o])/total)
+		}
+		t.AddRow(wl.Name(), pct(OutcomeFalseAbort), pct(OutcomeNackOnly),
+			pct(OutcomeResolvedAborts), pct(OutcomeClean))
+	}
+	return t
+}
+
+// Fig3 reproduces Fig. 3: the distribution of the number of transactions
+// aborted unnecessarily per false-aborting request, for one workload.
+func (s *Sweep) Fig3(workload string) string {
+	r := s.baseline(workload)
+	return report.Histogram(
+		fmt.Sprintf("Fig. 3 — unnecessary aborts per false-aborting request (%s, baseline)", workload),
+		r.FalseAbortHist)
+}
+
+// Fig3All renders the Fig. 3 distribution for every workload that has
+// false-aborting events.
+func (s *Sweep) Fig3All() string {
+	out := ""
+	for _, wl := range s.Workloads {
+		if len(s.baseline(wl.Name()).FalseAbortHist) > 0 {
+			out += s.Fig3(wl.Name()) + "\n"
+		}
+	}
+	return out
+}
+
+// Fig10 reproduces Fig. 10: transaction aborts normalized to the baseline.
+func (s *Sweep) Fig10() *Table {
+	return s.metricTable("Fig. 10 — normalized transaction aborts",
+		func(r *Result) float64 { return float64(r.Aborts) })
+}
+
+// Fig11 reproduces Fig. 11: on-chip network traffic (router traversals by
+// flits) normalized to the baseline.
+func (s *Sweep) Fig11() *Table {
+	return s.metricTable("Fig. 11 — normalized network traffic (router traversals)",
+		func(r *Result) float64 { return float64(r.Net.TotalTraversals()) })
+}
+
+// Fig12 reproduces Fig. 12: the average cycles a directory entry spends
+// blocked per transactional GETX service, normalized to the baseline.
+func (s *Sweep) Fig12() *Table {
+	return s.metricTable("Fig. 12 — normalized directory blocking per TxGETX service",
+		func(r *Result) float64 { return r.DirBlockingPerTxGETX() })
+}
+
+// Fig13 reproduces Fig. 13: execution time normalized to the baseline.
+func (s *Sweep) Fig13() *Table {
+	return s.metricTable("Fig. 13 — normalized execution time",
+		func(r *Result) float64 { return float64(r.Cycles) })
+}
+
+// Fig14 reproduces Fig. 14: the good/discarded transaction cycle ratio,
+// normalized to the baseline (larger is better).
+func (s *Sweep) Fig14() *Table {
+	return s.metricTable("Fig. 14 — normalized G/D ratio (larger is better)",
+		func(r *Result) float64 { return r.GDRatio() })
+}
+
+// Table3 reproduces Table III: PUNO's VLSI area and power overhead.
+func Table3(nodes int) string {
+	r := area.BuildReport(area.PUNOStructures(nodes), area.Tech65nm(), area.Rock())
+	return "== Table III — area and power overhead ==\n" + r.String()
+}
+
+// SummaryStats extracts the headline claims the paper's abstract makes, for
+// EXPERIMENTS.md: abort reduction and traffic reduction of PUNO vs baseline
+// in the high-contention set, and execution-time improvement.
+type SummaryStats struct {
+	AbortReductionHC    float64 // 1 - normalized aborts, mean over high contention
+	TrafficReductionHC  float64
+	SpeedupHC           float64 // 1 - normalized execution time
+	AbortReductionAll   float64
+	TrafficReductionAll float64
+	SpeedupAll          float64
+}
+
+// Summary computes the headline statistics for PUNO.
+func (s *Sweep) Summary() SummaryStats {
+	var st SummaryStats
+	var hcN, allN float64
+	for _, wl := range s.Workloads {
+		base := s.baseline(wl.Name())
+		p, ok := s.Results[wl.Name()][SchemePUNO]
+		if !ok {
+			continue
+		}
+		na := ratio(float64(p.Aborts), float64(base.Aborts))
+		nt := ratio(float64(p.Net.TotalTraversals()), float64(base.Net.TotalTraversals()))
+		nc := ratio(float64(p.Cycles), float64(base.Cycles))
+		st.AbortReductionAll += 1 - na
+		st.TrafficReductionAll += 1 - nt
+		st.SpeedupAll += 1 - nc
+		allN++
+		if wl.HighContention() {
+			st.AbortReductionHC += 1 - na
+			st.TrafficReductionHC += 1 - nt
+			st.SpeedupHC += 1 - nc
+			hcN++
+		}
+	}
+	if hcN > 0 {
+		st.AbortReductionHC /= hcN
+		st.TrafficReductionHC /= hcN
+		st.SpeedupHC /= hcN
+	}
+	if allN > 0 {
+		st.AbortReductionAll /= allN
+		st.TrafficReductionAll /= allN
+		st.SpeedupAll /= allN
+	}
+	return st
+}
+
+func ratio(v, base float64) float64 {
+	if base == 0 {
+		return 1
+	}
+	return v / base
+}
+
+// SortedWorkloadNames lists the sweep's workloads in Table I order.
+func (s *Sweep) SortedWorkloadNames() []string {
+	names := make([]string, 0, len(s.Workloads))
+	for _, wl := range s.Workloads {
+		names = append(names, wl.Name())
+	}
+	return names
+}
+
+// ScaledWorkloads returns the standard suite with each profile's
+// transaction count multiplied by f (benchmark scaling; f<1 shrinks runs
+// for -short tests).
+func ScaledWorkloads(f float64) []*Profile {
+	out := stamp.All()
+	for i, p := range out {
+		n := int(float64(p.TxPerCPU())*f + 0.5)
+		if n < 2 {
+			n = 2
+		}
+		out[i] = p.WithTxPerCPU(n)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package area
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperTableIIIAnchors(t *testing.T) {
+	r := BuildReport(PUNOStructures(16), Tech65nm(), Rock())
+	// The paper's published component values must be reproduced exactly.
+	want := map[string][2]float64{
+		"Prio-Buffer": {4700, 7.28},
+		"TxLB":        {5380, 7.52},
+		"UD pointers": {47400, 16.43},
+	}
+	for _, c := range r.Components {
+		w, ok := want[c.Name]
+		if !ok {
+			t.Fatalf("unexpected component %q", c.Name)
+		}
+		if c.AreaUM2 != w[0] || c.PowerMW != w[1] {
+			t.Errorf("%s = %.0f um2 / %.2f mW, want %.0f / %.2f", c.Name, c.AreaUM2, c.PowerMW, w[0], w[1])
+		}
+	}
+	if r.TotalAreaUM2 != 57480 {
+		t.Errorf("total area = %.0f, want 57480", r.TotalAreaUM2)
+	}
+	if math.Abs(r.TotalPowerMW-31.23) > 0.01 {
+		t.Errorf("total power = %.2f, want 31.23", r.TotalPowerMW)
+	}
+	// Paper: 0.41% area, 0.31% power overhead.
+	if math.Abs(100*r.AreaOverhead-0.41) > 0.01 {
+		t.Errorf("area overhead = %.3f%%, want 0.41%%", 100*r.AreaOverhead)
+	}
+	if math.Abs(100*r.PowerOverhead-0.31) > 0.01 {
+		t.Errorf("power overhead = %.3f%%, want 0.31%%", 100*r.PowerOverhead)
+	}
+}
+
+func TestModelFitMatchesAnchors(t *testing.T) {
+	// The analytic fit must land within a few percent of the published
+	// compiler points it was fitted to.
+	tech := Tech65nm()
+	for _, s := range PUNOStructures(16)[:2] { // P-Buffer and TxLB
+		e := Size(s, tech)
+		if rel := math.Abs(e.ModelAreaUM2-e.AreaUM2) / e.AreaUM2; rel > 0.03 {
+			t.Errorf("%s model area off by %.1f%%", s.Name, 100*rel)
+		}
+		if rel := math.Abs(e.ModelPowerMW-e.PowerMW) / e.PowerMW; rel > 0.03 {
+			t.Errorf("%s model power off by %.1f%%", s.Name, 100*rel)
+		}
+	}
+}
+
+func TestModelMonotoneInBits(t *testing.T) {
+	tech := Tech65nm()
+	f := func(entries uint8, bits uint8) bool {
+		e1 := Size(Structure{Name: "a", Entries: int(entries) + 1, Bits: int(bits) + 1}, tech)
+		e2 := Size(Structure{Name: "b", Entries: int(entries) + 2, Bits: int(bits) + 1}, tech)
+		return e2.ModelAreaUM2 > e1.ModelAreaUM2 && e2.ModelPowerMW > e1.ModelPowerMW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnanchoredConfigUsesModel(t *testing.T) {
+	// A 32-node machine has no paper anchors: the model must kick in and
+	// scale the P-Buffer with the node count.
+	s16 := PUNOStructures(16)
+	s32 := PUNOStructures(32)
+	if s32[0].PaperAreaUM2 != 0 {
+		t.Fatal("32-node config should not carry paper anchors")
+	}
+	e16 := Size(Structure{Name: s16[0].Name, Entries: 16, Bits: 34}, Tech65nm())
+	e32 := Size(s32[0], Tech65nm())
+	if e32.AreaUM2 <= e16.ModelAreaUM2 {
+		t.Fatal("P-Buffer area should grow with node count")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := BuildReport(PUNOStructures(16), Tech65nm(), Rock())
+	out := r.String()
+	for _, want := range []string{"Prio-Buffer", "TxLB", "UD pointers", "Overall", "Overhead", "0.41%", "0.31%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTotalBits(t *testing.T) {
+	s := Structure{Entries: 16, Bits: 34}
+	if s.TotalBits() != 544 {
+		t.Fatalf("TotalBits = %d, want 544", s.TotalBits())
+	}
+}

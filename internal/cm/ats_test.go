@@ -1,0 +1,104 @@
+package cm
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestATSLowIntensityProceedsImmediately(t *testing.T) {
+	g := NewATSGroup(4)
+	ran := false
+	g.NodeManager(0).RequestBegin(func() { ran = true })
+	if !ran {
+		t.Fatal("low-intensity begin was delayed")
+	}
+	if g.Serialized != 0 {
+		t.Fatal("low-intensity begin counted as serialized")
+	}
+}
+
+func raiseIntensity(g *ATSGroup, node int) {
+	for i := 0; i < 10; i++ {
+		g.observe(node, true)
+	}
+}
+
+func TestATSHighIntensitySerializes(t *testing.T) {
+	g := NewATSGroup(4)
+	raiseIntensity(g, 0)
+	raiseIntensity(g, 1)
+	if g.Intensity(0) < g.Threshold {
+		t.Fatal("setup: intensity did not rise")
+	}
+
+	order := []int{}
+	m0, m1 := g.NodeManager(0), g.NodeManager(1)
+	m0.RequestBegin(func() { order = append(order, 0) })
+	m1.RequestBegin(func() { order = append(order, 1) })
+	if len(order) != 1 || order[0] != 0 {
+		t.Fatalf("order = %v, want [0] (node 1 queued)", order)
+	}
+	// Node 0's attempt ends: node 1 gets the token.
+	m0.NotifyOutcome(false)
+	if len(order) != 2 || order[1] != 1 {
+		t.Fatalf("order = %v, want [0 1]", order)
+	}
+	// Node 1 ends with nobody waiting: token freed.
+	m1.NotifyOutcome(true)
+	ran := false
+	m0.RequestBegin(func() { ran = true })
+	if !ran {
+		t.Fatal("token not released")
+	}
+	if g.Serialized != 3 {
+		t.Fatalf("Serialized = %d, want 3", g.Serialized)
+	}
+}
+
+func TestATSIntensityDecaysOnCommit(t *testing.T) {
+	g := NewATSGroup(2)
+	raiseIntensity(g, 0)
+	hi := g.Intensity(0)
+	g.observe(0, false)
+	if g.Intensity(0) >= hi {
+		t.Fatal("commit did not lower intensity")
+	}
+	for i := 0; i < 20; i++ {
+		g.observe(0, false)
+	}
+	if g.Intensity(0) >= g.Threshold {
+		t.Fatal("intensity did not decay below threshold")
+	}
+}
+
+func TestATSMixedPopulation(t *testing.T) {
+	// A low-intensity node never waits even while the token is held.
+	g := NewATSGroup(4)
+	raiseIntensity(g, 0)
+	g.NodeManager(0).RequestBegin(func() {})
+	ran := false
+	g.NodeManager(2).RequestBegin(func() { ran = true })
+	if !ran {
+		t.Fatal("low-intensity node blocked behind the token")
+	}
+}
+
+func TestATSNotifyWithoutTokenIsNoop(t *testing.T) {
+	g := NewATSGroup(2)
+	g.NodeManager(1).NotifyOutcome(true) // never held the token
+	if g.tokenHeld {
+		t.Fatal("phantom token")
+	}
+}
+
+func TestATSManagerBaselineBackoff(t *testing.T) {
+	a := NewATSGroup(2).NodeManager(0)
+	rng := sim.NewRNG(1)
+	if a.RetryDelay(rng, 1, 100) != FixedBackoffCycles || a.RestartDelay(rng, 2) != FixedBackoffCycles {
+		t.Fatal("ATS backoff should match baseline")
+	}
+	if a.Name() != "ATS" || a.Notify() || a.PromoteLoad(1, 1) {
+		t.Fatal("ATS manager surface wrong")
+	}
+}

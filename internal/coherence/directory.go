@@ -1,0 +1,543 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// DirState is a directory entry's stable state.
+type DirState uint8
+
+// Directory stable states.
+const (
+	DirInvalid  DirState = iota // no cached copies
+	DirShared                   // one or more read-only copies
+	DirModified                 // exactly one exclusive/modified copy
+)
+
+// String implements fmt.Stringer.
+func (s DirState) String() string {
+	switch s {
+	case DirInvalid:
+		return "I"
+	case DirShared:
+		return "S"
+	case DirModified:
+		return "M"
+	default:
+		return fmt.Sprintf("DirState(%d)", uint8(s))
+	}
+}
+
+// Env is the directory controller's view of its node: the clock, the
+// outgoing message port, and the local L2 bank. Send delivers msg after
+// delay cycles of local processing plus network latency.
+type Env interface {
+	Now() sim.Time
+	Send(delay sim.Time, msg *Msg)
+	// LineData returns the L2/memory image of l and the access latency
+	// (L2 hit latency, or the memory latency on a cold miss).
+	LineData(l mem.Line) (mem.LineData, sim.Time)
+	// StoreLine updates the L2 image (writebacks, downgrades).
+	StoreLine(l mem.Line, d mem.LineData)
+}
+
+// Predictor is the directory-side hook PUNO plugs into. A nil Predictor
+// yields the baseline protocol: every transactional GETX to a shared line
+// is multicast to all sharers.
+type Predictor interface {
+	// ObserveRequest records the {node, priority} pair carried by an
+	// incoming transactional request (P-Buffer update), plus the
+	// requester's average transaction length hint.
+	ObserveRequest(node int, prio htm.Priority, avgTxLen sim.Time)
+	// PredictUnicast decides whether a transactional GETX from reqNode
+	// with priority reqPrio against the given sharers should be unicast,
+	// and to which sharer.
+	PredictUnicast(l mem.Line, sharers []int, reqNode int, reqPrio htm.Priority) (dest int, ok bool)
+	// UpdateUD recomputes the line's unicast-destination pointer from the
+	// current sharer list (off the critical path, after servicing).
+	UpdateUD(l mem.Line, sharers []int)
+	// Misprediction handles UNBLOCK MP feedback: the stale priority that
+	// caused a wrong unicast is replaced by the mispredicted sharer's
+	// current priority (carried back on the NACK and UNBLOCK), or
+	// invalidated when the sharer was not in a transaction
+	// (prio == htm.NoPriority).
+	Misprediction(l mem.Line, node int, prio htm.Priority)
+	// UnicastResolved reports the outcome of a completed unicast service:
+	// correct=true when the predicted sharer NACKed as predicted (no MP
+	// feedback). Drives the predictor's confidence estimate.
+	UnicastResolved(correct bool)
+	// MulticastResolved reports the outcome of a completed multicast
+	// transactional GETX service: falseAbort=true when the request failed
+	// after aborting sharers. Drives the predictor's benefit estimate.
+	MulticastResolved(falseAbort bool)
+	// DecisionLatency is the extra cycles the directory spends consulting
+	// the predictor on the forward path (P-Buffer read + compare).
+	DecisionLatency() sim.Time
+}
+
+// Stats aggregates directory-side measurements.
+type Stats struct {
+	Requests        uint64 // GETS+GETX accepted (not busy-nacked)
+	BusyNacks       uint64 // requests rejected because the entry's queue was full
+	QueuedRequests  uint64 // requests parked on a busy entry
+	TxGETX          uint64 // transactional GETX accepted
+	UnicastForwards uint64 // TxGETX serviced by predictive unicast
+	MulticastFwds   uint64 // invalidations/forwards sent on multicast paths
+	Mispredictions  uint64 // MP feedback received
+	BusyCycles      uint64 // total cycles entries spent blocked
+	TxGETXBusy      uint64 // blocked cycles while servicing transactional GETX (Fig. 12)
+	Writebacks      uint64
+}
+
+type dirEntry struct {
+	state   DirState
+	sharers uint64 // bitmask over nodes
+	owner   int
+
+	busy        bool
+	busySince   sim.Time
+	busyTxGETX  bool
+	busyGETX    bool
+	busyGETS    bool
+	requester   int
+	unicastTo   int // -1 when not a unicast service
+	waitWB      bool
+	gotWB       bool
+	gotUnblock  bool
+	unblock     Msg
+	savedState  DirState
+	savedShare  uint64
+	savedOwner  int
+	busyReqID   uint64
+	busyReqIsTx bool
+
+	// pending queues requests that arrived while the entry was busy; they
+	// are serviced FIFO when the entry unblocks. Without this, fixed-period
+	// retry loops can phase-lock and starve an older transaction behind a
+	// younger requester's retries — a deadlock cycle through the busy
+	// entry that NACK priority ordering alone cannot break.
+	pending []*Msg
+}
+
+// Directory is the home-node coherence controller for the lines mapping to
+// one bank. It is driven entirely by Handle; all outgoing effects go
+// through its Env.
+type Directory struct {
+	node  int
+	nodes int
+	env   Env
+	pred  Predictor
+
+	// Fixed costs. DirLatency is the controller occupancy per message.
+	DirLatency sim.Time
+	// QueueCap bounds the per-entry pending-request queue; beyond it the
+	// directory falls back to NackBusy.
+	QueueCap int
+
+	entries map[mem.Line]*dirEntry
+	stats   Stats
+}
+
+// NewDirectory returns the controller for home node `node` in a machine of
+// `nodes` nodes. pred may be nil (baseline multicast).
+func NewDirectory(node, nodes int, env Env, pred Predictor) *Directory {
+	if nodes > 64 {
+		panic("coherence: more than 64 nodes not supported by sharer bitmask")
+	}
+	return &Directory{
+		node:       node,
+		nodes:      nodes,
+		env:        env,
+		pred:       pred,
+		DirLatency: 1,
+		QueueCap:   nodes,
+		entries:    make(map[mem.Line]*dirEntry),
+	}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Directory) Stats() Stats { return d.stats }
+
+// ResetStats clears the statistics (warm-up discard).
+func (d *Directory) ResetStats() { d.stats = Stats{} }
+
+// BusyLines returns the number of entries currently blocked (used by the
+// machine's quiescence check).
+func (d *Directory) BusyLines() int {
+	n := 0
+	for _, e := range d.entries {
+		if e.busy {
+			n++
+		}
+	}
+	return n
+}
+
+// BusyInfo describes one blocked entry for diagnostics.
+type BusyInfo struct {
+	Line       mem.Line
+	Requester  int
+	IsGETX     bool
+	Since      sim.Time
+	WaitWB     bool
+	GotWB      bool
+	GotUnblock bool
+	UnicastTo  int
+	Pending    int
+}
+
+// BusyEntries returns diagnostics for every blocked entry.
+func (d *Directory) BusyEntries() []BusyInfo {
+	var out []BusyInfo
+	for l, e := range d.entries {
+		if !e.busy {
+			continue
+		}
+		out = append(out, BusyInfo{
+			Line: l, Requester: e.requester, IsGETX: e.busyGETX, Since: e.busySince,
+			WaitWB: e.waitWB, GotWB: e.gotWB, GotUnblock: e.gotUnblock,
+			UnicastTo: e.unicastTo, Pending: len(e.pending),
+		})
+	}
+	return out
+}
+
+// State reports the stable state, sharer list, and owner of a line
+// (invariant checkers and tests).
+func (d *Directory) State(l mem.Line) (DirState, []int, int) {
+	e, ok := d.entries[l]
+	if !ok {
+		return DirInvalid, nil, -1
+	}
+	return e.state, d.sharerList(e.sharers, -1), e.owner
+}
+
+func (d *Directory) entry(l mem.Line) *dirEntry {
+	e, ok := d.entries[l]
+	if !ok {
+		e = &dirEntry{state: DirInvalid, owner: -1, unicastTo: -1}
+		d.entries[l] = e
+	}
+	return e
+}
+
+func (d *Directory) sharerList(mask uint64, exclude int) []int {
+	var out []int
+	for n := 0; n < d.nodes; n++ {
+		if n != exclude && mask&(1<<uint(n)) != 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Handle processes one incoming message addressed to this directory.
+func (d *Directory) Handle(m *Msg) {
+	switch m.Type {
+	case MsgGETS:
+		d.handleGETS(m)
+	case MsgGETX:
+		d.handleGETX(m)
+	case MsgUnblock:
+		d.handleUnblock(m)
+	case MsgWBData:
+		d.handleWBData(m)
+	case MsgPUTX:
+		d.handlePUTX(m)
+	default:
+		panic(fmt.Sprintf("coherence: directory %d got unexpected %v", d.node, m.Type))
+	}
+}
+
+func (d *Directory) observe(m *Msg) {
+	if d.pred != nil && m.IsTx {
+		d.pred.ObserveRequest(m.Src, m.Prio, m.AvgTxLen)
+	}
+}
+
+func (d *Directory) nackBusy(m *Msg) {
+	d.stats.BusyNacks++
+	d.env.Send(d.DirLatency, &Msg{
+		Type: MsgNackBusy, Line: m.Line, Src: d.node, Dst: m.Src,
+		Requester: m.Src, ReqID: m.ReqID,
+	})
+}
+
+// park queues a request on a busy entry, or NackBusy-rejects it when the
+// queue is full.
+func (d *Directory) park(e *dirEntry, m *Msg) {
+	if len(e.pending) >= d.QueueCap {
+		d.nackBusy(m)
+		return
+	}
+	d.stats.QueuedRequests++
+	e.pending = append(e.pending, m)
+}
+
+func (d *Directory) handleGETS(m *Msg) {
+	d.observe(m)
+	e := d.entry(m.Line)
+	if e.busy {
+		d.park(e, m)
+		return
+	}
+	d.stats.Requests++
+	switch e.state {
+	case DirInvalid, DirShared:
+		// Serviced entirely at the home node: read L2, add sharer, reply.
+		data, lat := d.env.LineData(m.Line)
+		e.state = DirShared
+		e.sharers |= 1 << uint(m.Src)
+		d.env.Send(d.DirLatency+lat, &Msg{
+			Type: MsgData, Line: m.Line, Src: d.node, Dst: m.Src,
+			Requester: m.Src, ReqID: m.ReqID, Data: data, HasData: true,
+		})
+		d.updateUD(e, m.Line)
+	case DirModified:
+		// Forward to the owner; it supplies data to the requester and a
+		// writeback copy to us. Blocked until WBData + UNBLOCK.
+		d.beginBusy(e, m, false)
+		e.waitWB = true
+		d.env.Send(d.DirLatency, &Msg{
+			Type: MsgFwdGETS, Line: m.Line, Src: d.node, Dst: e.owner,
+			Requester: m.Src, ReqID: m.ReqID, IsTx: m.IsTx, Prio: m.Prio,
+			IsWrite: false,
+		})
+	}
+}
+
+func (d *Directory) handleGETX(m *Msg) {
+	d.observe(m)
+	e := d.entry(m.Line)
+	if e.busy {
+		// Writes are rejected rather than parked: a failed GETX retries
+		// through the requester's backoff policy anyway, and parking it
+		// would hand contended lines to writers with perfect promptness,
+		// hiding the polling cost the contention-management schemes
+		// differ on. Reads are parked (handleGETS) because a starved read
+		// can deadlock the system through the busy-entry wait edge.
+		d.nackBusy(m)
+		return
+	}
+	d.stats.Requests++
+	if m.IsTx {
+		d.stats.TxGETX++
+	}
+	switch e.state {
+	case DirInvalid:
+		d.beginBusy(e, m, true)
+		data, lat := d.env.LineData(m.Line)
+		d.env.Send(d.DirLatency+lat, &Msg{
+			Type: MsgData, Line: m.Line, Src: d.node, Dst: m.Src,
+			Requester: m.Src, ReqID: m.ReqID, Data: data, HasData: true,
+			AckCount: 0,
+		})
+	case DirShared:
+		d.beginBusy(e, m, true)
+		targets := d.sharerList(e.sharers, m.Src)
+		if len(targets) == 0 {
+			// Requester is the only sharer (upgrade) or the list was empty.
+			d.grantNoSharers(e, m)
+			return
+		}
+		if d.pred != nil && m.IsTx {
+			if dest, ok := d.pred.PredictUnicast(m.Line, targets, m.Src, m.Prio); ok {
+				// Predictive unicast: only the predicted nacker sees the
+				// request. Extra DecisionLatency on the forward path.
+				d.stats.UnicastForwards++
+				e.unicastTo = dest
+				d.env.Send(d.DirLatency+d.pred.DecisionLatency(), &Msg{
+					Type: MsgFwdGETX, Line: m.Line, Src: d.node, Dst: dest,
+					Requester: m.Src, ReqID: m.ReqID, IsTx: m.IsTx,
+					Prio: m.Prio, IsWrite: true, UBit: true,
+				})
+				return
+			}
+		}
+		// Multicast: invalidate every sharer; requester collects responses.
+		extra := sim.Time(0)
+		if d.pred != nil && m.IsTx {
+			extra = d.pred.DecisionLatency()
+		}
+		d.stats.MulticastFwds += uint64(len(targets))
+		for _, t := range targets {
+			d.env.Send(d.DirLatency+extra, &Msg{
+				Type: MsgFwdGETX, Line: m.Line, Src: d.node, Dst: t,
+				Requester: m.Src, ReqID: m.ReqID, IsTx: m.IsTx, Prio: m.Prio,
+				IsWrite: true,
+			})
+		}
+		if m.NeedData || e.sharers&(1<<uint(m.Src)) == 0 {
+			data, lat := d.env.LineData(m.Line)
+			d.env.Send(d.DirLatency+extra+lat, &Msg{
+				Type: MsgData, Line: m.Line, Src: d.node, Dst: m.Src,
+				Requester: m.Src, ReqID: m.ReqID, Data: data, HasData: true,
+				AckCount: len(targets),
+			})
+		} else {
+			d.env.Send(d.DirLatency+extra, &Msg{
+				Type: MsgAckCount, Line: m.Line, Src: d.node, Dst: m.Src,
+				Requester: m.Src, ReqID: m.ReqID, AckCount: len(targets),
+			})
+		}
+	case DirModified:
+		d.beginBusy(e, m, true)
+		d.env.Send(d.DirLatency, &Msg{
+			Type: MsgFwdGETX, Line: m.Line, Src: d.node, Dst: e.owner,
+			Requester: m.Src, ReqID: m.ReqID, IsTx: m.IsTx, Prio: m.Prio,
+			IsWrite: true,
+		})
+	}
+}
+
+// grantNoSharers completes a GETX that needs no invalidations.
+func (d *Directory) grantNoSharers(e *dirEntry, m *Msg) {
+	if m.NeedData {
+		data, lat := d.env.LineData(m.Line)
+		d.env.Send(d.DirLatency+lat, &Msg{
+			Type: MsgData, Line: m.Line, Src: d.node, Dst: m.Src,
+			Requester: m.Src, ReqID: m.ReqID, Data: data, HasData: true,
+			AckCount: 0,
+		})
+		return
+	}
+	d.env.Send(d.DirLatency, &Msg{
+		Type: MsgAckCount, Line: m.Line, Src: d.node, Dst: m.Src,
+		Requester: m.Src, ReqID: m.ReqID, AckCount: 0,
+	})
+}
+
+func (d *Directory) beginBusy(e *dirEntry, m *Msg, isGETX bool) {
+	e.busy = true
+	e.busySince = d.env.Now()
+	e.busyGETX = isGETX
+	e.busyGETS = !isGETX
+	e.busyTxGETX = isGETX && m.IsTx
+	e.requester = m.Src
+	e.unicastTo = -1
+	e.waitWB = false
+	e.gotWB = false
+	e.gotUnblock = false
+	e.savedState = e.state
+	e.savedShare = e.sharers
+	e.savedOwner = e.owner
+	e.busyReqID = m.ReqID
+	e.busyReqIsTx = m.IsTx
+}
+
+func (d *Directory) handleUnblock(m *Msg) {
+	e := d.entry(m.Line)
+	if !e.busy {
+		panic(fmt.Sprintf("coherence: UNBLOCK for non-busy line %v at dir %d", m.Line, d.node))
+	}
+	if m.Src != e.requester {
+		panic(fmt.Sprintf("coherence: UNBLOCK from %d but busy requester is %d", m.Src, e.requester))
+	}
+	e.gotUnblock = true
+	e.unblock = *m
+	if m.MPBit && d.pred != nil {
+		d.stats.Mispredictions++
+		d.pred.Misprediction(m.Line, m.MPNode, m.Prio)
+	}
+	d.tryComplete(m.Line, e)
+}
+
+func (d *Directory) handleWBData(m *Msg) {
+	e := d.entry(m.Line)
+	d.env.StoreLine(m.Line, m.Data)
+	if e.busy && e.waitWB {
+		e.gotWB = true
+		d.tryComplete(m.Line, e)
+	}
+}
+
+func (d *Directory) handlePUTX(m *Msg) {
+	e := d.entry(m.Line)
+	if e.busy || e.state != DirModified || e.owner != m.Src {
+		// Raced with a forward (or is stale): the owner must keep serving
+		// the in-flight forward from its retained copy.
+		d.env.Send(d.DirLatency, &Msg{
+			Type: MsgWBStale, Line: m.Line, Src: d.node, Dst: m.Src,
+		})
+		return
+	}
+	d.stats.Writebacks++
+	d.env.StoreLine(m.Line, m.Data)
+	e.state = DirInvalid
+	e.sharers = 0
+	e.owner = -1
+	d.env.Send(d.DirLatency, &Msg{
+		Type: MsgWBAck, Line: m.Line, Src: d.node, Dst: m.Src,
+	})
+}
+
+func (d *Directory) tryComplete(l mem.Line, e *dirEntry) {
+	if !e.gotUnblock {
+		return
+	}
+	if e.unblock.Success && e.waitWB && !e.gotWB {
+		return
+	}
+	// Apply the final transition.
+	req := e.requester
+	if e.unblock.Success {
+		switch {
+		case e.busyGETX:
+			e.state = DirModified
+			e.owner = req
+			e.sharers = 1 << uint(req)
+		case e.busyGETS:
+			// M -> S downgrade: old owner keeps a shared copy.
+			e.state = DirShared
+			e.sharers = e.savedShare | 1<<uint(e.savedOwner) | 1<<uint(req)
+			e.owner = -1
+		}
+	} else {
+		// Failed (NACKed) request: restore the pre-request state. Sharers
+		// that invalidated remain listed — a conservative superset; later
+		// spurious invalidations ACK harmlessly.
+		e.state = e.savedState
+		e.sharers = e.savedShare
+		e.owner = e.savedOwner
+	}
+	if d.pred != nil && e.busyTxGETX {
+		if e.unicastTo >= 0 {
+			d.pred.UnicastResolved(!e.unblock.MPBit)
+		} else {
+			d.pred.MulticastResolved(!e.unblock.Success && e.unblock.AbortedSharers > 0)
+		}
+	}
+	// Blocking accounting.
+	blocked := uint64(d.env.Now() - e.busySince)
+	d.stats.BusyCycles += blocked
+	if e.busyTxGETX {
+		d.stats.TxGETXBusy += blocked
+	}
+	e.busy = false
+	e.unicastTo = -1
+	d.updateUD(e, l)
+	// Drain parked requests until one re-blocks the entry (or none are
+	// left): requests serviced entirely at the home node (e.g. GETS from
+	// Shared) do not block, so stopping after one would strand the rest.
+	for !e.busy && len(e.pending) > 0 {
+		next := e.pending[0]
+		e.pending = e.pending[1:]
+		switch next.Type {
+		case MsgGETS:
+			d.handleGETS(next)
+		case MsgGETX:
+			d.handleGETX(next)
+		}
+	}
+}
+
+func (d *Directory) updateUD(e *dirEntry, l mem.Line) {
+	if d.pred == nil {
+		return
+	}
+	d.pred.UpdateUD(l, d.sharerList(e.sharers, -1))
+}

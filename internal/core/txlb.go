@@ -1,0 +1,102 @@
+package core
+
+import "repro/internal/sim"
+
+// TxLB is the per-node Transaction Length Buffer (Sec. III-D, Fig. 6): one
+// entry per static transaction tracking the recency-weighted average length
+// of its dynamic instances. The buffer has a bounded number of entries as
+// in hardware; on overflow the least recently touched entry is replaced
+// (the paper notes overflow is rare — STAMP's largest workload has 15
+// static transactions).
+type TxLB struct {
+	capacity int
+	entries  map[int]*txlbEntry
+	tick     uint64
+
+	// Statistics.
+	Updates   uint64
+	Evictions uint64
+}
+
+type txlbEntry struct {
+	avg  float64
+	used uint64
+}
+
+// NewTxLB returns a buffer with the given entry capacity.
+func NewTxLB(capacity int) *TxLB {
+	if capacity <= 0 {
+		panic("core: TxLB needs positive capacity")
+	}
+	return &TxLB{capacity: capacity, entries: make(map[int]*txlbEntry)}
+}
+
+// Len returns the number of tracked static transactions.
+func (b *TxLB) Len() int { return len(b.entries) }
+
+// Update folds a committed dynamic instance's length into the static
+// transaction's average using the paper's formula (1):
+//
+//	StaticTxLen_new = (StaticTxLen_prev + DynTxLen) / 2
+func (b *TxLB) Update(staticID int, dynLen sim.Time) {
+	b.Updates++
+	b.tick++
+	e, ok := b.entries[staticID]
+	if !ok {
+		if len(b.entries) >= b.capacity {
+			b.evictLRU()
+		}
+		b.entries[staticID] = &txlbEntry{avg: float64(dynLen), used: b.tick}
+		return
+	}
+	e.avg = (e.avg + float64(dynLen)) / 2
+	e.used = b.tick
+}
+
+func (b *TxLB) evictLRU() {
+	b.Evictions++
+	var victim int
+	var oldest uint64 = ^uint64(0)
+	for id, e := range b.entries {
+		if e.used < oldest {
+			oldest = e.used
+			victim = id
+		}
+	}
+	delete(b.entries, victim)
+}
+
+// Average returns the tracked average length of staticID, or 0 if unknown.
+func (b *TxLB) Average(staticID int) sim.Time {
+	b.tick++
+	if e, ok := b.entries[staticID]; ok {
+		e.used = b.tick
+		return sim.Time(e.avg)
+	}
+	return 0
+}
+
+// EstimateRemaining returns T_est for a running instance of staticID that
+// has already executed `elapsed` cycles: the tracked average minus the
+// elapsed time, or 0 when unknown or already exceeded (no notification).
+func (b *TxLB) EstimateRemaining(staticID int, elapsed sim.Time) sim.Time {
+	avg := b.Average(staticID)
+	if avg == 0 || elapsed >= avg {
+		return 0
+	}
+	return avg - elapsed
+}
+
+// GlobalAverage returns the mean of all tracked averages — the per-node
+// average transaction length hint piggybacked on coherence requests for the
+// directory's adaptive timeout.
+func (b *TxLB) GlobalAverage() sim.Time {
+	if len(b.entries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range b.entries {
+		sum += e.avg
+	}
+	return sim.Time(sum / float64(len(b.entries)))
+}

@@ -1,0 +1,125 @@
+package htm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSignatureNoFalseNegatives(t *testing.T) {
+	// The load-bearing property: a signature may over-report but must never
+	// miss an inserted line. Checked over random insert sets.
+	f := func(lines []uint16) bool {
+		s := NewSignature(256)
+		for _, raw := range lines {
+			l := line(int(raw))
+			s.InsertRead(l)
+			s.InsertWrite(l)
+		}
+		for _, raw := range lines {
+			l := line(int(raw))
+			if !s.TestRead(l) || !s.TestWrite(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignatureEmptyMatchesNothing(t *testing.T) {
+	s := NewSignature(128)
+	for i := 0; i < 100; i++ {
+		if s.TestRead(line(i)) || s.TestWrite(line(i)) {
+			t.Fatalf("empty signature matched line %d", i)
+		}
+	}
+}
+
+func TestSignatureReadWriteIndependent(t *testing.T) {
+	s := NewSignature(1024)
+	s.InsertRead(line(1))
+	if s.TestWrite(line(1)) {
+		t.Fatal("read insert leaked into write filter")
+	}
+	s.InsertWrite(line(2))
+	if s.TestRead(line(2)) {
+		t.Fatal("write insert leaked into read filter")
+	}
+}
+
+func TestSignatureClear(t *testing.T) {
+	s := NewSignature(128)
+	s.InsertRead(line(5))
+	s.InsertWrite(line(6))
+	s.Clear()
+	if s.TestRead(line(5)) || s.TestWrite(line(6)) {
+		t.Fatal("Clear left bits set")
+	}
+	r, w := s.PopCount()
+	if r != 0 || w != 0 {
+		t.Fatalf("PopCount after Clear = %d/%d", r, w)
+	}
+}
+
+func TestSignatureFalsePositiveRateReasonable(t *testing.T) {
+	// With 2 hash functions, 64 inserts into 2048 bits should stay well
+	// under a 10% false-positive rate.
+	s := NewSignature(2048)
+	for i := 0; i < 64; i++ {
+		s.InsertRead(line(i))
+	}
+	fp := 0
+	const probes = 2000
+	for i := 100; i < 100+probes; i++ {
+		if s.TestRead(line(i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.10 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestSignatureSizeRounding(t *testing.T) {
+	s := NewSignature(100)
+	if s.Bits() != 128 {
+		t.Fatalf("Bits = %d, want 128 (rounded to word)", s.Bits())
+	}
+}
+
+func TestSignaturePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSignature(0) did not panic")
+		}
+	}()
+	NewSignature(0)
+}
+
+func TestTxWithSignaturesConservative(t *testing.T) {
+	tx := NewTx(0)
+	tx.UseSignatures(512)
+	tx.Begin(1, 10, false)
+	tx.RecordRead(line(1))
+	tx.RecordWrite(line(2), line(2).Word(0), 0)
+	// Signatures must cover the exact sets.
+	if !tx.InReadSet(line(1)) || !tx.InWriteSet(line(2)) {
+		t.Fatal("signature missed an inserted line")
+	}
+	if !tx.ConflictsWith(line(1), true) {
+		t.Fatal("signature-backed conflict check missed a real conflict")
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	for _, c := range []struct {
+		x    uint64
+		want int
+	}{{0, 0}, {1, 1}, {3, 2}, {^uint64(0), 64}, {0x8000000000000001, 2}} {
+		if got := popcount(c.x); got != c.want {
+			t.Errorf("popcount(%#x) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}

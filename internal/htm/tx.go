@@ -1,0 +1,292 @@
+// Package htm implements the per-core hardware-transactional-memory
+// bookkeeping of a log-based eager HTM (LogTM/FASTM class, the paper's
+// baseline): exact read and write sets, an undo log for eager version
+// management with a fixed per-entry rollback cost, timestamp priorities
+// under the time-based conflict resolution policy, and optional
+// Bloom-filter signatures (LogTM-SE style) as an alternative
+// conflict-detection backend.
+package htm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Priority is a transaction's conflict-resolution priority under the
+// time-based policy: the cycle at which the transaction (logically) began.
+// Smaller is older is higher priority. NoPriority marks a node not currently
+// in a transaction; it never wins a conflict.
+type Priority uint64
+
+// NoPriority is the priority of a non-transactional access: it loses every
+// conflict (it is NACKed and retries; it never aborts a transaction).
+const NoPriority Priority = ^Priority(0)
+
+// Older reports whether p wins a conflict against q. Ties (identical begin
+// cycles on different nodes) are broken by node id, lower id winning, so
+// that priority is a strict total order across the machine.
+func Older(p Priority, pNode int, q Priority, qNode int) bool {
+	if p != q {
+		return p < q
+	}
+	return pNode < qNode
+}
+
+// Status is the lifecycle state of a transaction attempt.
+type Status uint8
+
+// Transaction lifecycle states.
+const (
+	StatusIdle      Status = iota // no transaction running
+	StatusRunning                 // between begin and commit/abort
+	StatusAborting                // rolling back the undo log
+	StatusCommitted               // final, until the next Begin
+	StatusAborted                 // final for this attempt, will retry
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusIdle:
+		return "idle"
+	case StatusRunning:
+		return "running"
+	case StatusAborting:
+		return "aborting"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// LogEntry records the pre-transaction value of one word, for undo.
+type LogEntry struct {
+	Addr mem.Addr
+	Old  uint64
+}
+
+// Costs models the cycle costs of transactional bookkeeping. The defaults
+// follow the paper's baseline: a hardware buffer holds pre-transaction
+// state for fast FASTM-style abort recovery.
+type Costs struct {
+	BeginCycles    sim.Time // register checkpoint
+	CommitCycles   sim.Time // clear sets, release isolation
+	AbortFixed     sim.Time // abort detection and pipeline flush
+	AbortPerEntry  sim.Time // restoring one undo-log word
+	OverflowCycles sim.Time // extra penalty when aborting due to set overflow
+}
+
+// DefaultCosts returns the baseline cost model.
+func DefaultCosts() Costs {
+	return Costs{BeginCycles: 2, CommitCycles: 2, AbortFixed: 10, AbortPerEntry: 2, OverflowCycles: 40}
+}
+
+// Tx is the transactional state of one hardware thread. The zero value is
+// an idle transaction.
+type Tx struct {
+	Node     int
+	StaticID int      // which static (source-level) transaction this is
+	Prio     Priority // retained across retries of the same dynamic instance
+	Status   Status
+
+	readSet  map[mem.Line]struct{}
+	writeSet map[mem.Line]struct{}
+	undo     []LogEntry
+
+	BeginCycle   sim.Time // cycle this attempt started executing
+	Attempts     int      // 1 on first execution, +1 per retry
+	sig          *Signature
+	useSignature bool
+}
+
+// NewTx returns an idle transaction context for a node.
+func NewTx(node int) *Tx {
+	return &Tx{
+		Node:     node,
+		Status:   StatusIdle,
+		readSet:  make(map[mem.Line]struct{}),
+		writeSet: make(map[mem.Line]struct{}),
+	}
+}
+
+// UseSignatures switches conflict tracking to Bloom-filter signatures of the
+// given size in bits (in addition to the exact sets, which are still kept
+// for version management). Conflict checks then go through the signature and
+// may report false positives, as in LogTM-SE.
+func (t *Tx) UseSignatures(bits int) {
+	t.useSignature = true
+	t.sig = NewSignature(bits)
+}
+
+// Begin starts a new dynamic instance at cycle now. If retry is true the
+// transaction keeps its previous priority (time-based policy: a retried
+// transaction ages, guaranteeing progress); otherwise priority is the begin
+// cycle.
+func (t *Tx) Begin(staticID int, now sim.Time, retry bool) {
+	if t.Status == StatusRunning || t.Status == StatusAborting {
+		panic(fmt.Sprintf("htm: Begin while %v", t.Status))
+	}
+	if !retry {
+		t.Prio = Priority(now)
+		t.Attempts = 0
+	}
+	t.StaticID = staticID
+	t.Status = StatusRunning
+	t.BeginCycle = now
+	t.Attempts++
+	clear(t.readSet)
+	clear(t.writeSet)
+	t.undo = t.undo[:0]
+	if t.sig != nil {
+		t.sig.Clear()
+	}
+}
+
+// Running reports whether a transaction attempt is currently executing.
+func (t *Tx) Running() bool { return t.Status == StatusRunning }
+
+// InFlight reports whether the node holds transactional isolation (running
+// or mid-abort; in both cases its sets are still relevant to requests that
+// raced with the abort).
+func (t *Tx) InFlight() bool { return t.Status == StatusRunning || t.Status == StatusAborting }
+
+// RecordRead adds l to the read set.
+func (t *Tx) RecordRead(l mem.Line) {
+	t.mustRun("RecordRead")
+	t.readSet[l] = struct{}{}
+	if t.sig != nil {
+		t.sig.InsertRead(l)
+	}
+}
+
+// RecordWrite adds l to the write set and logs the old value of the word
+// about to be overwritten.
+func (t *Tx) RecordWrite(l mem.Line, a mem.Addr, old uint64) {
+	t.mustRun("RecordWrite")
+	t.writeSet[l] = struct{}{}
+	if t.sig != nil {
+		t.sig.InsertWrite(l)
+	}
+	t.undo = append(t.undo, LogEntry{Addr: a, Old: old})
+}
+
+func (t *Tx) mustRun(op string) {
+	if t.Status != StatusRunning {
+		panic(fmt.Sprintf("htm: %s while %v", op, t.Status))
+	}
+}
+
+// InReadSet reports whether l is (possibly, if signatures are enabled) in
+// the read set.
+func (t *Tx) InReadSet(l mem.Line) bool {
+	if t.useSignature {
+		return t.sig.TestRead(l)
+	}
+	_, ok := t.readSet[l]
+	return ok
+}
+
+// InWriteSet reports whether l is (possibly) in the write set.
+func (t *Tx) InWriteSet(l mem.Line) bool {
+	if t.useSignature {
+		return t.sig.TestWrite(l)
+	}
+	_, ok := t.writeSet[l]
+	return ok
+}
+
+// ConflictsWith classifies an incoming request against this transaction's
+// sets: a write request conflicts with read or write membership, a read
+// request conflicts only with write membership ("single-writer,
+// multi-reader" invariant).
+func (t *Tx) ConflictsWith(l mem.Line, isWrite bool) bool {
+	if !t.InFlight() {
+		return false
+	}
+	if isWrite {
+		return t.InReadSet(l) || t.InWriteSet(l)
+	}
+	return t.InWriteSet(l)
+}
+
+// ReadSetSize returns the exact read-set line count.
+func (t *Tx) ReadSetSize() int { return len(t.readSet) }
+
+// WriteSetSize returns the exact write-set line count.
+func (t *Tx) WriteSetSize() int { return len(t.writeSet) }
+
+// LogEntries returns the undo-log length in words.
+func (t *Tx) LogEntries() int { return len(t.undo) }
+
+// ForEachSetLine calls fn for every line in either set (write-set lines
+// first). Used by the machine layer to unpin cache lines at commit/abort.
+func (t *Tx) ForEachSetLine(fn func(l mem.Line, write bool)) {
+	for l := range t.writeSet {
+		fn(l, true)
+	}
+	for l := range t.readSet {
+		if _, alsoWrite := t.writeSet[l]; !alsoWrite {
+			fn(l, false)
+		}
+	}
+}
+
+// Commit finalizes the attempt and returns its cost in cycles.
+func (t *Tx) Commit(c Costs) sim.Time {
+	t.mustRun("Commit")
+	t.Status = StatusCommitted
+	return c.CommitCycles
+}
+
+// StartAbort moves the transaction to the aborting state and returns the
+// rollback latency: fixed cost plus per-undo-entry cost (plus the overflow
+// penalty when overflow is true). The caller applies the undo entries via
+// Undo and completes with FinishAbort after the latency elapses.
+func (t *Tx) StartAbort(c Costs, overflow bool) sim.Time {
+	t.mustRun("StartAbort")
+	t.Status = StatusAborting
+	lat := c.AbortFixed + sim.Time(len(t.undo))*c.AbortPerEntry
+	if overflow {
+		lat += c.OverflowCycles
+	}
+	return lat
+}
+
+// Undo returns the undo entries in reverse (newest-first) order, the order
+// they must be applied to restore pre-transaction values when a word was
+// written more than once.
+func (t *Tx) Undo() []LogEntry {
+	out := make([]LogEntry, len(t.undo))
+	for i, e := range t.undo {
+		out[len(t.undo)-1-i] = e
+	}
+	return out
+}
+
+// FinishAbort completes rollback: sets are cleared and the attempt is over.
+func (t *Tx) FinishAbort() {
+	if t.Status != StatusAborting {
+		panic(fmt.Sprintf("htm: FinishAbort while %v", t.Status))
+	}
+	t.Status = StatusAborted
+	clear(t.readSet)
+	clear(t.writeSet)
+	t.undo = t.undo[:0]
+	if t.sig != nil {
+		t.sig.Clear()
+	}
+}
+
+// Reset returns to idle (after a committed or aborted attempt has been
+// consumed by the core).
+func (t *Tx) Reset() {
+	if t.Status == StatusRunning || t.Status == StatusAborting {
+		panic(fmt.Sprintf("htm: Reset while %v", t.Status))
+	}
+	t.Status = StatusIdle
+}

@@ -1,0 +1,265 @@
+package htm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func line(i int) mem.Line { return mem.Line(uint64(i) * mem.LineBytes) }
+
+func TestOlderTotalOrder(t *testing.T) {
+	if !Older(5, 0, 10, 1) {
+		t.Fatal("older timestamp lost")
+	}
+	if Older(10, 0, 5, 1) {
+		t.Fatal("younger timestamp won")
+	}
+	// Tie: lower node wins.
+	if !Older(7, 2, 7, 3) || Older(7, 3, 7, 2) {
+		t.Fatal("tie-break by node id wrong")
+	}
+}
+
+func TestNoPriorityAlwaysLoses(t *testing.T) {
+	if Older(NoPriority, 0, 100, 1) {
+		t.Fatal("NoPriority won against a transaction")
+	}
+	if !Older(100, 1, NoPriority, 0) {
+		t.Fatal("transaction lost against NoPriority")
+	}
+}
+
+func TestTxLifecycle(t *testing.T) {
+	tx := NewTx(3)
+	if tx.Status != StatusIdle {
+		t.Fatal("new tx not idle")
+	}
+	tx.Begin(1, 100, false)
+	if !tx.Running() || tx.Prio != 100 || tx.Attempts != 1 {
+		t.Fatalf("after Begin: %+v", tx)
+	}
+	cost := tx.Commit(DefaultCosts())
+	if cost != DefaultCosts().CommitCycles || tx.Status != StatusCommitted {
+		t.Fatalf("commit cost=%d status=%v", cost, tx.Status)
+	}
+	tx.Reset()
+	if tx.Status != StatusIdle {
+		t.Fatal("Reset did not return to idle")
+	}
+}
+
+func TestRetryKeepsPriority(t *testing.T) {
+	tx := NewTx(0)
+	tx.Begin(1, 100, false)
+	tx.StartAbort(DefaultCosts(), false)
+	tx.FinishAbort()
+	tx.Begin(1, 500, true)
+	if tx.Prio != 100 {
+		t.Fatalf("retry priority = %d, want 100 (retained)", tx.Prio)
+	}
+	if tx.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", tx.Attempts)
+	}
+}
+
+func TestFreshBeginResetsPriority(t *testing.T) {
+	tx := NewTx(0)
+	tx.Begin(1, 100, false)
+	tx.Commit(DefaultCosts())
+	tx.Reset()
+	tx.Begin(2, 900, false)
+	if tx.Prio != 900 || tx.Attempts != 1 {
+		t.Fatalf("fresh begin prio=%d attempts=%d", tx.Prio, tx.Attempts)
+	}
+}
+
+func TestSetsAndConflicts(t *testing.T) {
+	tx := NewTx(0)
+	tx.Begin(1, 10, false)
+	tx.RecordRead(line(1))
+	tx.RecordWrite(line(2), line(2).Word(0), 7)
+
+	if !tx.InReadSet(line(1)) || tx.InReadSet(line(2)) {
+		t.Fatal("read-set membership wrong")
+	}
+	if !tx.InWriteSet(line(2)) || tx.InWriteSet(line(1)) {
+		t.Fatal("write-set membership wrong")
+	}
+	// Write request conflicts with read or write set.
+	if !tx.ConflictsWith(line(1), true) || !tx.ConflictsWith(line(2), true) {
+		t.Fatal("write request should conflict with both sets")
+	}
+	// Read request conflicts only with write set.
+	if tx.ConflictsWith(line(1), false) {
+		t.Fatal("read-read flagged as conflict")
+	}
+	if !tx.ConflictsWith(line(2), false) {
+		t.Fatal("read-write not flagged")
+	}
+	// Unrelated line: no conflict.
+	if tx.ConflictsWith(line(9), true) {
+		t.Fatal("phantom conflict")
+	}
+}
+
+func TestNoConflictWhenIdle(t *testing.T) {
+	tx := NewTx(0)
+	if tx.ConflictsWith(line(1), true) {
+		t.Fatal("idle tx reported conflict")
+	}
+}
+
+func TestUndoNewestFirst(t *testing.T) {
+	tx := NewTx(0)
+	tx.Begin(1, 10, false)
+	a := line(1).Word(0)
+	tx.RecordWrite(line(1), a, 100) // old value 100
+	tx.RecordWrite(line(1), a, 200) // overwritten again; old now 200
+	undo := tx.Undo()
+	if len(undo) != 2 {
+		t.Fatalf("undo length %d, want 2", len(undo))
+	}
+	// Applying newest-first restores 200 then 100, ending at 100.
+	if undo[0].Old != 200 || undo[1].Old != 100 {
+		t.Fatalf("undo order wrong: %+v", undo)
+	}
+}
+
+func TestAbortLatencyScalesWithLog(t *testing.T) {
+	c := DefaultCosts()
+	tx := NewTx(0)
+	tx.Begin(1, 10, false)
+	short := tx.StartAbort(c, false)
+	tx.FinishAbort()
+
+	tx.Begin(1, 20, true)
+	for i := 0; i < 10; i++ {
+		tx.RecordWrite(line(i), line(i).Word(0), 0)
+	}
+	long := tx.StartAbort(c, false)
+	if long != short+10*c.AbortPerEntry {
+		t.Fatalf("abort latency %d, want %d", long, short+10*c.AbortPerEntry)
+	}
+	tx.FinishAbort()
+}
+
+func TestOverflowPenalty(t *testing.T) {
+	c := DefaultCosts()
+	tx := NewTx(0)
+	tx.Begin(1, 10, false)
+	base := tx.StartAbort(c, true)
+	if base != c.AbortFixed+c.OverflowCycles {
+		t.Fatalf("overflow abort latency %d", base)
+	}
+	tx.FinishAbort()
+}
+
+func TestFinishAbortClearsSets(t *testing.T) {
+	tx := NewTx(0)
+	tx.Begin(1, 10, false)
+	tx.RecordRead(line(1))
+	tx.RecordWrite(line(2), line(2).Word(0), 0)
+	tx.StartAbort(DefaultCosts(), false)
+	tx.FinishAbort()
+	if tx.InReadSet(line(1)) || tx.InWriteSet(line(2)) {
+		t.Fatal("sets survive abort")
+	}
+	if tx.ReadSetSize() != 0 || tx.WriteSetSize() != 0 || tx.LogEntries() != 0 {
+		t.Fatal("counters nonzero after abort")
+	}
+}
+
+func TestForEachSetLine(t *testing.T) {
+	tx := NewTx(0)
+	tx.Begin(1, 10, false)
+	tx.RecordRead(line(1))
+	tx.RecordRead(line(2))
+	tx.RecordWrite(line(2), line(2).Word(0), 0) // read+write line
+	tx.RecordWrite(line(3), line(3).Word(0), 0)
+	seen := map[mem.Line]bool{}
+	writes := 0
+	tx.ForEachSetLine(func(l mem.Line, w bool) {
+		if seen[l] {
+			t.Fatalf("line %v visited twice", l)
+		}
+		seen[l] = true
+		if w {
+			writes++
+		}
+	})
+	if len(seen) != 3 || writes != 2 {
+		t.Fatalf("visited %d lines (%d writes), want 3 (2)", len(seen), writes)
+	}
+}
+
+func TestMisuseaPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(*Tx)
+	}{
+		{"BeginWhileRunning", func(tx *Tx) { tx.Begin(1, 5, false); tx.Begin(2, 6, false) }},
+		{"RecordReadIdle", func(tx *Tx) { tx.RecordRead(line(1)) }},
+		{"RecordWriteIdle", func(tx *Tx) { tx.RecordWrite(line(1), line(1).Word(0), 0) }},
+		{"CommitIdle", func(tx *Tx) { tx.Commit(DefaultCosts()) }},
+		{"FinishAbortIdle", func(tx *Tx) { tx.FinishAbort() }},
+		{"ResetWhileRunning", func(tx *Tx) { tx.Begin(1, 5, false); tx.Reset() }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			c.fn(NewTx(0))
+		})
+	}
+}
+
+// Property: exact-set conflict detection agrees with a reference model.
+func TestConflictMatchesReference(t *testing.T) {
+	f := func(reads, writes []uint8, probe uint8, isWrite bool) bool {
+		tx := NewTx(0)
+		tx.Begin(1, 1, false)
+		ref := map[mem.Line]struct{ r, w bool }{}
+		for _, r := range reads {
+			l := line(int(r) % 64)
+			tx.RecordRead(l)
+			e := ref[l]
+			e.r = true
+			ref[l] = e
+		}
+		for _, w := range writes {
+			l := line(int(w) % 64)
+			tx.RecordWrite(l, l.Word(0), 0)
+			e := ref[l]
+			e.w = true
+			ref[l] = e
+		}
+		pl := line(int(probe) % 64)
+		e := ref[pl]
+		var want bool
+		if isWrite {
+			want = e.r || e.w
+		} else {
+			want = e.w
+		}
+		return tx.ConflictsWith(pl, isWrite) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusIdle: "idle", StatusRunning: "running", StatusAborting: "aborting",
+		StatusCommitted: "committed", StatusAborted: "aborted",
+	} {
+		if s.String() != want {
+			t.Errorf("Status %d = %q, want %q", s, s.String(), want)
+		}
+	}
+}

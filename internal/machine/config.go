@@ -1,0 +1,141 @@
+package machine
+
+import (
+	"repro/internal/cache"
+	"repro/internal/htm"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Scheme selects the contention-management configuration of a run
+// (Sec. IV-A of the paper plus the ablation variants called out in
+// DESIGN.md).
+type Scheme int
+
+// Schemes.
+const (
+	SchemeBaseline    Scheme = iota // multicast + fixed 20-cycle backoff
+	SchemeBackoff                   // multicast + randomized linear restart backoff
+	SchemeRMWPred                   // multicast + read-modify-write load promotion
+	SchemePUNO                      // predictive unicast + notification backoff
+	SchemeUnicastOnly               // ablation: predictive unicast, baseline backoff
+	SchemeNotifyOnly                // ablation: notification backoff, multicast
+	SchemeATS                       // adaptive transaction scheduling (Yoo & Lee; Sec. V related work)
+	SchemePUNOPush                  // PUNO + commit wakeup (the paper's future-work speculative action)
+	numSchemes
+)
+
+// Schemes returns the four configurations the paper's figures compare.
+func Schemes() []Scheme {
+	return []Scheme{SchemeBaseline, SchemeBackoff, SchemeRMWPred, SchemePUNO}
+}
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBaseline:
+		return "Baseline"
+	case SchemeBackoff:
+		return "Backoff"
+	case SchemeRMWPred:
+		return "RMW-Pred"
+	case SchemePUNO:
+		return "PUNO"
+	case SchemeUnicastOnly:
+		return "PUNO-unicast-only"
+	case SchemeNotifyOnly:
+		return "PUNO-notify-only"
+	case SchemeATS:
+		return "ATS"
+	case SchemePUNOPush:
+		return "PUNO-Push"
+	default:
+		return "Scheme(?)"
+	}
+}
+
+// Config describes one simulated machine. DefaultConfig reproduces the
+// paper's Table II system.
+type Config struct {
+	Nodes int        // must equal Mesh.Width*Mesh.Height
+	Mesh  noc.Config // interconnect timing
+
+	L1           cache.Config
+	L1HitLatency sim.Time
+	L2HitLatency sim.Time // shared L2 bank access
+	MemLatency   sim.Time // cold-miss fill from the memory controller
+
+	Costs  htm.Costs
+	Scheme Scheme
+
+	// BusyRetryDelay is the wait before re-sending a request that was
+	// NACKed by a busy directory entry (plus up to BusyRetryJitter).
+	BusyRetryDelay  sim.Time
+	BusyRetryJitter sim.Time
+
+	// Controller occupancies: each message handled by a directory/L2 bank
+	// (DirOccupancy) or an L1 controller (L1Occupancy) holds that
+	// controller for this many cycles; arrivals queue behind it. This is
+	// what makes polling and multicast storms cost real time, as they do
+	// in a bandwidth-limited memory system.
+	DirOccupancy sim.Time
+	L1Occupancy  sim.Time
+
+	// TxLBEntries sizes the per-node transaction length buffer; PBufferMin
+	// timeout and related predictor knobs come from PredictorConfig.
+	TxLBEntries int
+
+	// SignatureBits, when nonzero, switches conflict detection to
+	// Bloom-filter signatures of that size (LogTM-SE ablation).
+	SignatureBits int
+
+	// DisableAdaptiveTimeout fixes the P-Buffer validity timeout (ablation).
+	FixedValidityTimeout sim.Time
+	DisableValidity      bool
+	// ValidityTimeoutMult scales the adaptive validity timeout relative to
+	// the average transaction length (0 = package default).
+	ValidityTimeoutMult int
+
+	// NotifyGuardOverride, when nonzero, replaces the computed 2x average
+	// cache-to-cache latency guard band (ablation).
+	NotifyGuardOverride sim.Time
+	// NotifyMaxWait, when nonzero, caps a single notification-guided
+	// backoff (ablation).
+	NotifyMaxWait sim.Time
+
+	// MaxCycles aborts the run if the clock passes it (hang protection).
+	MaxCycles sim.Time
+
+	Seed uint64
+
+	// TraceFn, when non-nil, receives a line for every notable protocol
+	// and core event (debugging aid; adds no cost when nil).
+	TraceFn func(cycle sim.Time, node int, event string)
+
+	// SampleInterval, when nonzero, records a Result.Timeline sample every
+	// that many cycles (commit/abort/traffic deltas — the dynamics view).
+	SampleInterval sim.Time
+}
+
+// DefaultConfig is the paper's 16-node system (Table II): 32KB 4-way L1,
+// 1-cycle L1, 20-cycle L2, 200-cycle memory, 4x4 mesh with 4-stage routers,
+// 16-entry P-Buffer (implied by one entry per node), 32-entry TxLB.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:           16,
+		Mesh:            noc.DefaultConfig(),
+		L1:              cache.Config{SizeBytes: 32 * 1024, Ways: 4},
+		L1HitLatency:    1,
+		L2HitLatency:    20,
+		MemLatency:      200,
+		Costs:           htm.DefaultCosts(),
+		Scheme:          SchemeBaseline,
+		BusyRetryDelay:  10,
+		BusyRetryJitter: 30,
+		DirOccupancy:    4,
+		L1Occupancy:     2,
+		TxLBEntries:     32,
+		MaxCycles:       2_000_000_000,
+		Seed:            1,
+	}
+}

@@ -1,0 +1,24 @@
+package machine
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPUNOCounterNoHang is the regression test for a livelock found during
+// bring-up (a unicast MP-NACK marking a parked read stale forever): the
+// contended counter workload must finish under PUNO well within the cycle
+// cap. On failure it dumps the full machine state.
+func TestPUNOCounterNoHang(t *testing.T) {
+	wl := counterWorkload{name: "counters", txPerCPU: 20, counters: 8, incrsPer: 2, think: 30}
+	cfg := smallConfig(SchemePUNO, 42)
+	cfg.MaxCycles = 3_000_000
+	m, err := New(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		m.DumpState(os.Stderr)
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,400 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cm"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Machine is one simulated CMP instance, assembled from a Config and a
+// Workload. Build it with New, run it with Run, and read the measurements
+// from Result.
+type Machine struct {
+	cfg     Config
+	eng     *sim.Engine
+	mesh    *noc.Mesh
+	home    mem.HomeMap
+	backing *mem.Backing
+	l2Seen  map[mem.Line]bool
+	nodes   []*node
+	dirs    []*coherence.Directory
+	preds   []*core.Predictor
+	rootRNG *sim.RNG
+
+	res        Result
+	active     int
+	incrCounts map[mem.Addr]uint64
+	runErr     error
+
+	// Controller next-free times (occupancy queueing).
+	dirFree []sim.Time
+	l1Free  []sim.Time
+}
+
+// fail aborts the run with err (unrecoverable configuration or protocol
+// problems detected mid-simulation).
+func (m *Machine) fail(err error) {
+	if m.runErr == nil {
+		m.runErr = err
+	}
+	m.eng.Stop()
+}
+
+// dirEnv adapts the machine to the coherence.Env interface for one
+// directory bank.
+type dirEnv struct {
+	m    *Machine
+	node int
+}
+
+func (e dirEnv) Now() sim.Time { return e.m.eng.Now() }
+
+func (e dirEnv) Send(delay sim.Time, msg *coherence.Msg) {
+	if delay == 0 {
+		e.m.send(msg)
+		return
+	}
+	e.m.eng.After(delay, func() { e.m.send(msg) })
+}
+
+func (e dirEnv) LineData(l mem.Line) (mem.LineData, sim.Time) {
+	lat := e.m.cfg.L2HitLatency
+	if !e.m.l2Seen[l] {
+		e.m.l2Seen[l] = true
+		lat = e.m.cfg.MemLatency
+	}
+	return e.m.backing.Load(l), lat
+}
+
+func (e dirEnv) StoreLine(l mem.Line, d mem.LineData) {
+	e.m.l2Seen[l] = true
+	e.m.backing.Store(l, d)
+}
+
+// New builds a machine running wl under cfg. The backing memory starts
+// zeroed; use Backing to preload initial data before Run.
+func New(cfg Config, wl Workload) (*Machine, error) {
+	if cfg.Nodes != cfg.Mesh.Width*cfg.Mesh.Height {
+		return nil, fmt.Errorf("machine: %d nodes does not match %dx%d mesh",
+			cfg.Nodes, cfg.Mesh.Width, cfg.Mesh.Height)
+	}
+	m := &Machine{
+		cfg:        cfg,
+		eng:        sim.NewEngine(),
+		home:       mem.NewHomeMap(cfg.Nodes),
+		backing:    mem.NewBacking(),
+		l2Seen:     make(map[mem.Line]bool),
+		rootRNG:    sim.NewRNG(cfg.Seed),
+		incrCounts: make(map[mem.Addr]uint64),
+	}
+	m.mesh = noc.New(cfg.Mesh, m.eng)
+	m.res = Result{
+		Workload:       wl.Name(),
+		Scheme:         cfg.Scheme,
+		FalseAbortHist: make(map[int]uint64),
+		PerNodeCommits: make([]uint64, cfg.Nodes),
+		PerNodeAborts:  make([]uint64, cfg.Nodes),
+	}
+
+	usePred := cfg.Scheme == SchemePUNO || cfg.Scheme == SchemeUnicastOnly || cfg.Scheme == SchemePUNOPush
+	m.dirs = make([]*coherence.Directory, cfg.Nodes)
+	m.preds = make([]*core.Predictor, cfg.Nodes)
+	m.nodes = make([]*node, cfg.Nodes)
+	m.dirFree = make([]sim.Time, cfg.Nodes)
+	m.l1Free = make([]sim.Time, cfg.Nodes)
+	guard := cfg.NotifyGuardOverride
+	if guard == 0 {
+		guard = 2 * m.mesh.AverageLatency(coherence.DataFlits)
+	}
+	mb := &managerBuilder{scheme: cfg.Scheme, guard: guard, maxWait: cfg.NotifyMaxWait}
+	if cfg.Scheme == SchemeATS {
+		mb.ats = cm.NewATSGroup(cfg.Nodes)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		var pred coherence.Predictor
+		if usePred {
+			pcfg := core.DefaultPredictorConfig(cfg.Nodes)
+			pcfg.FixedTimeout = cfg.FixedValidityTimeout
+			pcfg.DisableValidity = cfg.DisableValidity
+			if cfg.ValidityTimeoutMult > 0 {
+				pcfg.TimeoutMultiplier = cfg.ValidityTimeoutMult
+			}
+			p := core.NewPredictor(pcfg, m.eng.Now)
+			m.preds[i] = p
+			pred = p
+		}
+		m.dirs[i] = coherence.NewDirectory(i, cfg.Nodes, dirEnv{m, i}, pred)
+		prog := wl.Program(i, m.rootRNG.Fork(1000+uint64(i)))
+		n := newNode(i, m, prog, mb.build(i))
+		if cfg.SignatureBits > 0 {
+			n.tx.UseSignatures(cfg.SignatureBits)
+		}
+		m.nodes[i] = n
+		id := i
+		m.mesh.Attach(i, func(payload any) { m.deliver(id, payload.(*coherence.Msg)) })
+	}
+	return m, nil
+}
+
+// BeginGater is an optional extension a contention manager can implement
+// to gate transaction begins (proactive scheduling schemes like ATS).
+// RequestBegin is called before every attempt; the attempt proceeds when
+// done runs (possibly synchronously). NotifyOutcome is called when the
+// attempt commits (false) or its abort completes (true).
+type BeginGater interface {
+	RequestBegin(done func())
+	NotifyOutcome(aborted bool)
+}
+
+// managerBuilder builds the per-node managers for a machine, sharing
+// state where the scheme requires it (ATS).
+type managerBuilder struct {
+	scheme  Scheme
+	guard   sim.Time
+	maxWait sim.Time
+	ats     *cm.ATSGroup
+}
+
+func (mb *managerBuilder) build(node int) cm.Manager {
+	switch mb.scheme {
+	case SchemeBaseline, SchemeUnicastOnly:
+		return cm.NewFixed()
+	case SchemeBackoff:
+		return cm.NewRandomBackoff()
+	case SchemeRMWPred:
+		return cm.NewRMWPred()
+	case SchemePUNO, SchemeNotifyOnly, SchemePUNOPush:
+		p := cm.NewPUNO(mb.guard)
+		if mb.maxWait > 0 {
+			p.MaxWait = mb.maxWait
+		}
+		if mb.scheme == SchemePUNOPush {
+			// With commit wakeups, the estimate is only a fallback bound:
+			// sleep it in full and rely on the wakeup for promptness.
+			p.NotifyEachRetry = true
+			p.MaxWait = 20000
+		}
+		return p
+	case SchemeATS:
+		return mb.ats.NodeManager(node)
+	default:
+		panic(fmt.Sprintf("machine: unknown scheme %v", mb.scheme))
+	}
+}
+
+// Backing exposes the memory image (preloading initial data; inspecting
+// final state in tests).
+func (m *Machine) Backing() *mem.Backing { return m.backing }
+
+// Engine exposes the simulation clock (tests).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+func (m *Machine) send(msg *coherence.Msg) {
+	m.mesh.Send(msg.Src, msg.Dst, msg.Class(), msg.Flits(), msg)
+}
+
+// deliver dispatches an arriving message to the right controller at node
+// id: home-directory traffic to the directory slice, everything else to
+// the L1/core. Each controller processes one message per occupancy window;
+// later arrivals queue behind it, so message storms cost time.
+func (m *Machine) deliver(id int, msg *coherence.Msg) {
+	switch msg.Type {
+	case coherence.MsgGETS, coherence.MsgGETX, coherence.MsgUnblock,
+		coherence.MsgWBData, coherence.MsgPUTX:
+		m.occupy(&m.dirFree[id], m.cfg.DirOccupancy, func() { m.dirs[id].Handle(msg) })
+	case coherence.MsgFwdGETS, coherence.MsgFwdGETX:
+		m.occupy(&m.l1Free[id], m.cfg.L1Occupancy, func() { m.nodes[id].handleForward(msg) })
+	case coherence.MsgWBAck, coherence.MsgWBStale:
+		m.nodes[id].handleWB(msg)
+	case coherence.MsgWakeup:
+		m.nodes[id].handleWakeup(msg)
+	default:
+		m.occupy(&m.l1Free[id], m.cfg.L1Occupancy, func() { m.nodes[id].handleResponse(msg) })
+	}
+}
+
+// occupy runs fn when the controller guarded by nextFree becomes available
+// and holds it for occ cycles.
+func (m *Machine) occupy(nextFree *sim.Time, occ sim.Time, fn func()) {
+	now := m.eng.Now()
+	start := now
+	if *nextFree > start {
+		start = *nextFree
+	}
+	*nextFree = start + occ
+	if start == now {
+		fn()
+		return
+	}
+	m.eng.At(start, fn)
+}
+
+func (m *Machine) threadDone() { m.active-- }
+
+// noteCommit records a committed transaction's increments for the
+// serializability checker.
+func (m *Machine) noteCommit(_ *node, tx TxInstance) {
+	for _, op := range tx.Ops {
+		if op.Kind == OpIncr {
+			m.incrCounts[op.Addr]++
+		}
+	}
+}
+
+// ErrHung is returned when the simulation exceeds Config.MaxCycles.
+var ErrHung = errors.New("machine: simulation exceeded MaxCycles")
+
+// Run executes the workload to completion and returns the measurements.
+func (m *Machine) Run() (*Result, error) {
+	m.active = m.cfg.Nodes
+	for _, n := range m.nodes {
+		n.start()
+	}
+	if iv := m.cfg.SampleInterval; iv > 0 {
+		var prevCommits, prevAborts, prevTraffic uint64
+		var sample func()
+		sample = func() {
+			live := 0
+			for _, n := range m.nodes {
+				if n.tx.InFlight() {
+					live++
+				}
+			}
+			traffic := m.mesh.Stats().TotalTraversals()
+			m.res.Timeline = append(m.res.Timeline, Sample{
+				Cycle:   m.eng.Now(),
+				Commits: m.res.Commits - prevCommits,
+				Aborts:  m.res.Aborts - prevAborts,
+				Traffic: traffic - prevTraffic,
+				LiveTxs: live,
+			})
+			prevCommits, prevAborts, prevTraffic = m.res.Commits, m.res.Aborts, traffic
+			if m.active > 0 {
+				m.eng.After(iv, sample)
+			}
+		}
+		m.eng.After(iv, sample)
+	}
+	m.eng.Run(m.cfg.MaxCycles)
+	if m.runErr != nil {
+		return nil, m.runErr
+	}
+	if m.active > 0 {
+		if m.eng.Pending() > 0 {
+			return nil, ErrHung
+		}
+		return nil, fmt.Errorf("machine: %d threads stalled with an empty event queue (protocol deadlock)", m.active)
+	}
+	// Drain any events after the last commit (in-flight unblocks etc.).
+	m.eng.Run(m.cfg.MaxCycles)
+
+	for _, n := range m.nodes {
+		if n.doneAt > m.res.Cycles {
+			m.res.Cycles = n.doneAt
+		}
+	}
+	m.res.Net = m.mesh.Stats()
+	for i, d := range m.dirs {
+		ds := d.Stats()
+		m.res.DirTxGETXBusy += ds.TxGETXBusy
+		m.res.DirTxGETXServices += ds.TxGETX
+		m.res.DirBusyAll += ds.BusyCycles
+		m.res.DirBusyNacks += ds.BusyNacks
+		m.res.DirUnicasts += ds.UnicastForwards
+		m.res.DirMulticastFwds += ds.MulticastFwds
+		m.res.Mispredictions += ds.Mispredictions
+		_ = i
+	}
+	return &m.res, nil
+}
+
+// Result returns the measurements collected so far (valid after Run).
+func (m *Machine) Result() *Result { return &m.res }
+
+// Predictors exposes the per-directory PUNO predictors (nil entries when
+// the scheme does not use prediction). Diagnostics and ablation benches.
+func (m *Machine) Predictors() []*core.Predictor { return m.preds }
+
+// CommittedIncrements returns how many OpIncr commits touched each address
+// (the serializability oracle).
+func (m *Machine) CommittedIncrements() map[mem.Addr]uint64 { return m.incrCounts }
+
+// DrainCaches flushes every Modified line (and any writeback in flight)
+// into the backing store so tests can inspect final memory values. Call
+// only after Run.
+func (m *Machine) DrainCaches() {
+	for _, n := range m.nodes {
+		n.l1.ForEach(func(e *cache.Entry) {
+			if e.State == cache.Modified {
+				m.backing.Store(e.Line, e.Data)
+			}
+		})
+		for l, d := range n.wbWait {
+			m.backing.Store(l, d)
+		}
+	}
+}
+
+// CheckInvariants verifies the single-writer/multiple-reader invariant
+// across all L1s and directory/cache consistency. It may be called during
+// or after a run.
+func (m *Machine) CheckInvariants() error {
+	type holder struct {
+		node  int
+		state cache.State
+	}
+	lines := make(map[mem.Line][]holder)
+	for _, n := range m.nodes {
+		n.l1.ForEach(func(e *cache.Entry) {
+			lines[e.Line] = append(lines[e.Line], holder{n.id, e.State})
+		})
+	}
+	for l, hs := range lines {
+		owners := 0
+		for _, h := range hs {
+			if h.state == cache.Modified || h.state == cache.Exclusive {
+				owners++
+			}
+		}
+		if owners > 1 {
+			return fmt.Errorf("SWMR violated: line %v held exclusively by %d nodes (%v)", l, owners, hs)
+		}
+		if owners == 1 && len(hs) > 1 {
+			return fmt.Errorf("SWMR violated: line %v has an owner plus %d sharers (%v)", l, len(hs)-1, hs)
+		}
+	}
+	// Directory M entries must point at a node actually holding the line
+	// exclusively, unless the entry is mid-transaction (busy) or the copy
+	// is travelling through a writeback.
+	for home, d := range m.dirs {
+		_ = home
+		for l, hs := range lines {
+			if m.home.Home(l) != home {
+				continue
+			}
+			st, _, owner := d.State(l)
+			if st == coherence.DirModified && d.BusyLines() == 0 {
+				found := false
+				for _, h := range hs {
+					if h.node == owner && (h.state == cache.Modified || h.state == cache.Exclusive) {
+						found = true
+					}
+				}
+				if _, wb := m.nodes[owner].wbWait[l]; wb {
+					found = true
+				}
+				if !found {
+					return fmt.Errorf("directory %d says %v owned by %d, but it holds no exclusive copy", home, l, owner)
+				}
+			}
+		}
+	}
+	return nil
+}

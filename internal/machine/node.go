@@ -1,0 +1,989 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cm"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// nodeState is the core's execution state.
+type nodeState uint8
+
+const (
+	nsIdle        nodeState = iota // waiting to fetch the next transaction
+	nsRunning                      // executing transactional ops
+	nsWaiting                      // memory request outstanding
+	nsBackoff                      // NACKed; waiting to re-issue the request
+	nsAborting                     // rolling back the undo log
+	nsAbortDrain                   // rollback done; waiting for an in-flight request to settle
+	nsRestartWait                  // post-abort backoff before re-beginning
+	nsDone                         // program exhausted
+)
+
+// outstanding tracks one in-flight memory request and the responses
+// collected so far.
+type outstanding struct {
+	id       uint64
+	line     mem.Line
+	isWrite  bool // the protocol request is a GETX
+	promoted bool // a load promoted to GETX by the RMW predictor
+	isTx     bool
+	home     int
+
+	expected  int // sharer responses to collect; -1 until the header arrives
+	received  int
+	gotHeader bool
+	soleDone  bool
+
+	data          mem.LineData
+	hasData       bool
+	dataFromOwner bool
+
+	sawNack        bool
+	tEstMax        sim.Time
+	mpSeen         bool
+	mpNode         int
+	mpPrio         htm.Priority
+	abortedSharers int
+
+	abortedLocally bool // our transaction died while this request was in flight
+
+	// staleData marks a pending GETS whose line was invalidated while the
+	// data was still in flight from the home node (the directory does not
+	// block for GETS serviced from L2, so a later GETX can overtake the
+	// response). The arriving copy must be discarded and refetched.
+	staleData bool
+}
+
+// node is one tile: core + HTM + private L1 + (via machine) its directory
+// slice and L2 bank.
+type node struct {
+	id   int
+	m    *Machine
+	l1   *cache.Cache
+	tx   *htm.Tx
+	cmgr cm.Manager
+	txlb *core.TxLB
+	rng  *sim.RNG
+
+	state nodeState
+	prog  Program
+	cur   TxInstance
+	opIdx int
+	phase int    // 0 = read phase, 1 = write phase (OpIncr)
+	rdVal uint64 // value loaded by the read phase of an OpIncr
+
+	req           *outstanding
+	reqSeq        uint64
+	accessRetries int // NACKs endured by the current logical access
+
+	// Per-logical-access outcome accumulation (Fig. 2 classifies each
+	// transactional write access once, across all its retries): accFalse
+	// marks an issue that aborted sharers AND was NACKed (those aborts
+	// were unnecessary); accResolved marks aborts by the final successful
+	// issue (necessary conflict resolution).
+	accNacked   bool
+	accFalse    bool
+	accResolved bool
+	accIsWrite  bool
+	accLive     bool
+
+	// firstLoad maps line -> op index of the first load this attempt;
+	// used to train the RMW predictor when the same line is later stored.
+	firstLoad map[mem.Line]int
+	// promotedLoads maps line -> op index of loads this attempt issued as
+	// exclusive requests on the RMW predictor's advice; used to anti-train
+	// the predictor at commit when no store followed.
+	promotedLoads map[mem.Line]int
+
+	// wbWait holds Modified victims between PUTX and WBAck; the retained
+	// copy services forwards that raced with the writeback.
+	wbWait map[mem.Line]mem.LineData
+
+	// wakeupSubs (PUNO-Push) records the requesters this node NACKed, per
+	// line, so it can ping them when its transaction finishes. Bounded as
+	// hardware would be; overflow silently drops (the waiter's timed
+	// backoff remains the fallback).
+	wakeupSubs map[mem.Line]map[int]struct{}
+
+	pending      sim.EventID // cancellable compute/backoff event
+	gateBypassed bool        // inside a BeginGater callback (avoid re-gating)
+	doneAt       sim.Time
+	ovfStreak    int // consecutive overflow aborts of the current instance
+}
+
+func newNode(id int, m *Machine, prog Program, mgr cm.Manager) *node {
+	return &node{
+		id:            id,
+		m:             m,
+		l1:            cache.New(m.cfg.L1),
+		tx:            htm.NewTx(id),
+		cmgr:          mgr,
+		txlb:          core.NewTxLB(m.cfg.TxLBEntries),
+		rng:           m.rootRNG.Fork(uint64(id) + 1),
+		prog:          prog,
+		firstLoad:     make(map[mem.Line]int),
+		promotedLoads: make(map[mem.Line]int),
+		wbWait:        make(map[mem.Line]mem.LineData),
+		wakeupSubs:    make(map[mem.Line]map[int]struct{}),
+	}
+}
+
+func (n *node) after(d sim.Time, fn func()) { n.m.eng.After(d, fn) }
+
+// trace emits a debug event when tracing is enabled.
+func (n *node) trace(format string, args ...any) {
+	if n.m.cfg.TraceFn != nil {
+		n.m.cfg.TraceFn(n.m.eng.Now(), n.id, fmt.Sprintf(format, args...))
+	}
+}
+
+// afterCancellable schedules fn and remembers the event so an abort can
+// cancel it.
+func (n *node) afterCancellable(d sim.Time, fn func()) {
+	n.pending = n.m.eng.After(d, func() {
+		n.pending = sim.EventID{}
+		fn()
+	})
+}
+
+func (n *node) cancelPending() {
+	if !n.pending.Zero() {
+		n.m.eng.Cancel(n.pending)
+		n.pending = sim.EventID{}
+	}
+}
+
+// ---- program driving -------------------------------------------------
+
+// start begins the thread with a small per-node stagger.
+func (n *node) start() {
+	n.after(sim.Time(n.id)+1, n.fetchNext)
+}
+
+func (n *node) fetchNext() {
+	tx, ok := n.prog.Next(n.rng)
+	if !ok {
+		n.state = nsDone
+		n.doneAt = n.m.eng.Now()
+		n.m.threadDone()
+		return
+	}
+	n.cur = tx
+	n.beginAttempt(false)
+}
+
+// beginAttempt starts (or restarts) the current instance, first passing
+// through the contention manager's begin gate when it has one (proactive
+// scheduling schemes serialize high-contention threads here).
+func (n *node) beginAttempt(retry bool) {
+	if g, ok := n.cmgr.(BeginGater); ok && !n.gateBypassed {
+		n.gateBypassed = true
+		g.RequestBegin(func() {
+			n.beginAttempt(retry)
+			n.gateBypassed = false
+		})
+		return
+	}
+	n.gateBypassed = false
+	if n.tx.Status == htm.StatusCommitted || n.tx.Status == htm.StatusAborted {
+		n.tx.Reset()
+	}
+	n.tx.Begin(n.cur.StaticID, n.m.eng.Now(), retry)
+	n.state = nsRunning
+	n.opIdx = 0
+	n.phase = 0
+	n.accessRetries = 0
+	clear(n.firstLoad)
+	clear(n.promotedLoads)
+	n.afterCancellable(n.m.cfg.Costs.BeginCycles, n.execOp)
+}
+
+// execOp dispatches the current operation (or commits when done).
+func (n *node) execOp() {
+	if n.state != nsRunning {
+		panic(fmt.Sprintf("machine: node %d execOp in state %d", n.id, n.state))
+	}
+	if n.opIdx >= len(n.cur.Ops) {
+		n.commit()
+		return
+	}
+	op := n.cur.Ops[n.opIdx]
+	switch op.Kind {
+	case OpCompute:
+		n.afterCancellable(op.Cycles, n.opDone)
+	case OpRead:
+		n.accessRead(op.Addr)
+	case OpWrite:
+		n.accessWrite(op.Addr, op.Value)
+	case OpIncr:
+		if n.phase == 0 {
+			n.accessRead(op.Addr)
+		} else {
+			n.accessWrite(op.Addr, n.rdVal+1)
+		}
+	}
+}
+
+// finishAccess classifies a completed (or killed) transactional write
+// access for Fig. 2 and resets the per-access accumulators.
+func (n *node) finishAccess() {
+	if n.accLive && n.accIsWrite {
+		n.m.res.TxGETXAccesses++
+		switch {
+		case n.accFalse:
+			n.m.res.GETXOutcomes[OutcomeFalseAbort]++
+		case n.accResolved:
+			n.m.res.GETXOutcomes[OutcomeResolvedAborts]++
+		case n.accNacked:
+			n.m.res.GETXOutcomes[OutcomeNackOnly]++
+		default:
+			n.m.res.GETXOutcomes[OutcomeClean]++
+		}
+	}
+	n.accLive = false
+	n.accNacked = false
+	n.accFalse = false
+	n.accResolved = false
+	n.accIsWrite = false
+}
+
+// opDone advances past the current op.
+func (n *node) opDone() {
+	n.opIdx++
+	n.phase = 0
+	n.accessRetries = 0
+	n.execOp()
+}
+
+// readPhaseDone finishes a load: record the read and move to the next op or
+// the write phase of an OpIncr. The entry is looked up afresh: during the
+// hit latency the line is not yet in the read set, so a forwarded
+// invalidation may have removed it — in that case the access simply retries
+// as a miss.
+func (n *node) readPhaseDone(e *cache.Entry, a mem.Addr) {
+	l := mem.LineOf(a)
+	if e == nil || e.Line != l || e.State == cache.Invalid {
+		n.execOp()
+		return
+	}
+	n.tx.RecordRead(l)
+	n.trace("read %v = %d (state %v)", l, e.Data[mem.WordIndex(a)], e.State)
+	e.Pinned = true
+	if _, seen := n.firstLoad[l]; !seen {
+		n.firstLoad[l] = n.opIdx
+	}
+	n.rdVal = e.Data[mem.WordIndex(a)]
+	if n.cur.Ops[n.opIdx].Kind == OpIncr {
+		n.phase = 1
+		n.accessRetries = 0
+		n.execOp()
+		return
+	}
+	n.opDone()
+}
+
+// writeDone finishes a store into an Exclusive/Modified resident line. As
+// with readPhaseDone, the line may have been stolen during the hit latency
+// (it was not yet in the write set); re-validate and retry on loss.
+func (n *node) writeDone(e *cache.Entry, a mem.Addr, v uint64) {
+	l := mem.LineOf(a)
+	if e == nil || e.Line != l || (e.State != cache.Modified && e.State != cache.Exclusive) {
+		n.execOp()
+		return
+	}
+	old := e.Data[mem.WordIndex(a)]
+	n.trace("write %v: %d -> %d", l, old, v)
+	n.tx.RecordWrite(l, a, old)
+	e.Pinned = true
+	e.State = cache.Modified
+	e.Data[mem.WordIndex(a)] = v
+	if loadIdx, ok := n.firstLoad[l]; ok {
+		n.cmgr.ObserveRMW(n.cur.StaticID, loadIdx)
+	}
+	n.opDone()
+}
+
+func (n *node) accessRead(a mem.Addr) {
+	l := mem.LineOf(a)
+	promoted := n.cmgr.PromoteLoad(n.cur.StaticID, n.opIdx)
+	e := n.l1.Access(l)
+	if promoted {
+		n.promotedLoads[l] = n.opIdx
+	}
+	if e != nil {
+		if promoted && e.State == cache.Shared {
+			// Predicted RMW load with only shared permission: upgrade now.
+			n.issue(l, true, true, false)
+			return
+		}
+		n.afterCancellable(n.m.cfg.L1HitLatency, func() { n.readPhaseDone(e, a) })
+		return
+	}
+	if promoted {
+		n.issue(l, true, true, true)
+	} else {
+		n.issue(l, false, false, true)
+	}
+}
+
+func (n *node) accessWrite(a mem.Addr, v uint64) {
+	l := mem.LineOf(a)
+	e := n.l1.Access(l)
+	if e != nil && (e.State == cache.Modified || e.State == cache.Exclusive) {
+		n.afterCancellable(n.m.cfg.L1HitLatency, func() { n.writeDone(e, a, v) })
+		return
+	}
+	if e != nil && e.State == cache.Shared {
+		n.issue(l, true, false, false) // upgrade
+		return
+	}
+	n.issue(l, true, false, true)
+}
+
+// issue sends a GETS/GETX to the line's home directory.
+func (n *node) issue(l mem.Line, isWrite, promoted, needData bool) {
+	n.reqSeq++
+	home := n.m.home.Home(l)
+	n.req = &outstanding{
+		id: n.reqSeq, line: l, isWrite: isWrite, promoted: promoted,
+		isTx: true, home: home, expected: -1,
+	}
+	n.state = nsWaiting
+	mt := coherence.MsgGETS
+	if isWrite {
+		mt = coherence.MsgGETX
+		if n.tx.Running() {
+			n.m.res.TxGETXIssued++
+		}
+	}
+	n.m.send(&coherence.Msg{
+		Type: mt, Line: l, Src: n.id, Dst: home, Requester: n.id,
+		ReqID: n.reqSeq, IsTx: true, Prio: n.tx.Prio, IsWrite: isWrite,
+		NeedData: needData, AvgTxLen: n.txlb.GlobalAverage(),
+	})
+}
+
+func (n *node) commit() {
+	n.ovfStreak = 0
+	n.fireWakeups()
+	if g, ok := n.cmgr.(BeginGater); ok {
+		g.NotifyOutcome(false)
+	}
+	// Anti-train the RMW predictor for promoted loads that never stored.
+	for l, opIdx := range n.promotedLoads {
+		if !n.tx.InWriteSet(l) {
+			n.cmgr.ObserveNonRMW(n.cur.StaticID, opIdx)
+		}
+	}
+	if n.m.cfg.TraceFn != nil {
+		ws := ""
+		n.tx.ForEachSetLine(func(l mem.Line, w bool) {
+			if w {
+				ws += " " + l.String()
+			}
+		})
+		n.trace("commit static=%d prio=%d writes:%s", n.cur.StaticID, n.tx.Prio, ws)
+	}
+	cost := n.tx.Commit(n.m.cfg.Costs)
+	n.after(cost, func() {
+		now := n.m.eng.Now()
+		dynLen := now - n.tx.BeginCycle
+		n.txlb.Update(n.cur.StaticID, dynLen)
+		n.unpinSets()
+		n.m.res.Commits++
+		n.m.res.PerNodeCommits[n.id]++
+		n.m.res.GoodCycles += uint64(dynLen)
+		n.m.noteCommit(n, n.cur)
+		n.state = nsIdle
+		n.after(n.cur.ThinkCycles+1, n.fetchNext)
+	})
+}
+
+func (n *node) unpinSets() {
+	n.tx.ForEachSetLine(func(l mem.Line, _ bool) {
+		if e := n.l1.Lookup(l); e != nil {
+			e.Pinned = false
+		}
+	})
+}
+
+// ---- abort flow --------------------------------------------------------
+
+// abortTx tears down the running attempt. Returns the rollback latency.
+// Callers that owe a coherence response must schedule it after that
+// latency.
+func (n *node) abortTx(cause AbortCause, overflow bool) sim.Time {
+	if !n.tx.Running() {
+		panic(fmt.Sprintf("machine: node %d abort while not running", n.id))
+	}
+	n.m.res.Aborts++
+	n.m.res.PerNodeAborts[n.id]++
+	n.m.res.AbortsByCause[cause]++
+	n.trace("abort cause=%d prio=%d attempts=%d", cause, n.tx.Prio, n.tx.Attempts)
+	n.m.res.DiscardedCycles += uint64(n.m.eng.Now() - n.tx.BeginCycle)
+
+	n.cancelPending()
+	n.finishAccess()
+	if n.req != nil {
+		n.req.abortedLocally = true
+	}
+
+	// Restore pre-transaction values into the cached lines immediately
+	// (the latency models when the restoration completes).
+	for _, entry := range n.tx.Undo() {
+		l := mem.LineOf(entry.Addr)
+		if e := n.l1.Lookup(l); e != nil {
+			e.Data[mem.WordIndex(entry.Addr)] = entry.Old
+		}
+	}
+	lat := n.tx.StartAbort(n.m.cfg.Costs, overflow)
+	n.state = nsAborting
+	n.after(lat, n.finishAbort)
+	return lat
+}
+
+func (n *node) finishAbort() {
+	n.unpinSets()
+	n.tx.FinishAbort()
+	n.fireWakeups()
+	if g, ok := n.cmgr.(BeginGater); ok {
+		g.NotifyOutcome(true)
+	}
+	if n.req != nil {
+		n.state = nsAbortDrain // restart once the in-flight request settles
+		return
+	}
+	n.scheduleRestart()
+}
+
+func (n *node) scheduleRestart() {
+	n.state = nsRestartWait
+	delay := n.cmgr.RestartDelay(n.rng, n.tx.Attempts)
+	n.m.res.RestartWaitCycle += uint64(delay)
+	n.after(delay, func() { n.beginAttempt(true) })
+}
+
+// ---- request-response collection ---------------------------------------
+
+// handleResponse processes a message addressed to this node as requester.
+func (n *node) handleResponse(m *coherence.Msg) {
+	r := n.req
+	if r == nil || m.ReqID != r.id {
+		return // stale response from a superseded request
+	}
+	switch m.Type {
+	case coherence.MsgNackBusy:
+		n.req = nil
+		if r.abortedLocally {
+			n.drainContinue()
+			return
+		}
+		delay := n.m.cfg.BusyRetryDelay
+		if j := n.m.cfg.BusyRetryJitter; j > 0 {
+			delay += sim.Time(n.rng.Uint64n(uint64(j)))
+		}
+		n.state = nsBackoff
+		n.afterCancellable(delay, n.reissue)
+		return
+	case coherence.MsgData:
+		if m.Sole {
+			r.soleDone = true
+			r.data = m.Data
+			r.hasData = true
+			r.dataFromOwner = true
+			if m.AbortedSharer {
+				r.abortedSharers++
+			}
+		} else {
+			r.gotHeader = true
+			r.expected = m.AckCount
+			r.data = m.Data
+			r.hasData = true
+		}
+	case coherence.MsgAckCount:
+		r.gotHeader = true
+		r.expected = m.AckCount
+	case coherence.MsgAck:
+		r.received++
+		if m.AbortedSharer {
+			r.abortedSharers++
+		}
+	case coherence.MsgNack:
+		r.received++
+		r.sawNack = true
+		if m.TEst > r.tEstMax {
+			r.tEstMax = m.TEst
+		}
+		if m.MPBit {
+			r.mpSeen = true
+			r.mpNode = m.Src
+			r.mpPrio = m.Prio
+		}
+		if m.Sole {
+			r.soleDone = true
+		}
+	default:
+		panic(fmt.Sprintf("machine: node %d unexpected response %v", n.id, m.Type))
+	}
+	if r.soleDone || (r.gotHeader && r.received >= r.expected) {
+		n.trace("req %d line %v complete: nack=%v aborted=%d write=%v data=%v", r.id, r.line, r.sawNack, r.abortedSharers, r.isWrite, r.hasData)
+		n.completeRequest()
+	}
+}
+
+// completeRequest finalizes the outstanding request: classification,
+// UNBLOCK, install or retry.
+func (n *node) completeRequest() {
+	r := n.req
+	n.req = nil
+
+	// Fig. 3: each NACKed request that aborted sharers is one
+	// false-aborting case; Fig. 2 classification accumulates across the
+	// access's retries and is finalized in finishAccess.
+	if r.isWrite && r.isTx {
+		n.accLive = true
+		n.accIsWrite = true
+		if r.sawNack {
+			n.accNacked = true
+			if r.abortedSharers > 0 {
+				n.accFalse = true
+				n.m.res.FalseAbortHist[r.abortedSharers]++
+			}
+		} else if r.abortedSharers > 0 {
+			n.accResolved = true
+		}
+	}
+
+	if r.sawNack {
+		n.m.res.Nacks++
+		n.sendUnblock(r, false)
+		if r.abortedLocally {
+			n.finishAccess()
+			n.drainContinue()
+			return
+		}
+		// Backoff, then re-run the access (it may hit by then).
+		delay := n.cmgr.RetryDelay(n.rng, n.accessRetries, r.tEstMax)
+		if r.tEstMax > 0 {
+			n.m.res.NotifiedBackoffs++
+		}
+		n.accessRetries++
+		n.m.res.Retries++
+		n.m.res.BackoffCycles += uint64(delay)
+		n.state = nsBackoff
+		n.afterCancellable(delay, n.reissue)
+		return
+	}
+
+	if r.staleData && !r.dataFromOwner {
+		// The home-sourced copy was invalidated while in flight: discard
+		// and refetch. The directory never blocked for a home-serviced
+		// read, so no UNBLOCK is owed. (Owner-sourced data is always the
+		// live copy — the invalidation that set the flag belonged to the
+		// service that made that node the owner — so it is installed
+		// normally below, and its blocked directory gets its UNBLOCK.)
+		if r.abortedLocally {
+			n.drainContinue()
+			return
+		}
+		n.state = nsBackoff
+		n.afterCancellable(n.m.cfg.BusyRetryDelay, n.reissue)
+		return
+	}
+
+	// Success: install the line.
+	if r.abortedLocally {
+		n.finishAccess()
+		if r.isWrite && !r.hasData && n.l1.Lookup(r.line) == nil {
+			// Dataless upgrade whose shared copy vanished while our
+			// transaction died: nothing valid to install, so fail the
+			// request instead of taking ownership of garbage.
+			n.sendUnblock(r, false)
+		} else {
+			n.installPostAbort(r)
+			n.sendUnblock(r, true)
+		}
+		n.drainContinue()
+		return
+	}
+	e := n.l1.Lookup(r.line)
+	if e == nil && !r.hasData {
+		// Upgrade hazard: our shared copy was invalidated by an earlier
+		// request while this dataless upgrade was in flight, so there is
+		// nothing to install. Fail the request (the directory restores its
+		// pre-request state) and retry as a full fetch.
+		n.sendUnblock(r, false)
+		n.m.res.Retries++
+		n.state = nsBackoff
+		n.afterCancellable(n.m.cfg.BusyRetryDelay, n.reissue)
+		return
+	}
+	if e == nil {
+		st := cache.Shared
+		if r.isWrite {
+			st = cache.Modified
+		}
+		var evicted cache.Entry
+		var was bool
+		e, evicted, was = n.l1.Insert(r.line, st, r.data)
+		if e == nil {
+			// Transactional overflow: every way pinned. Fail the request
+			// so the directory restores, then abort with the penalty.
+			n.sendUnblock(r, false)
+			n.ovfStreak++
+			if n.ovfStreak >= 8 {
+				n.m.fail(fmt.Errorf("machine: node %d static tx %d overflows the L1 on every attempt (footprint does not fit)", n.id, n.cur.StaticID))
+				return
+			}
+			n.abortTx(CauseOverflow, true)
+			return
+		}
+		if was {
+			n.handleEviction(evicted)
+		}
+	} else if r.isWrite {
+		e.State = cache.Modified
+	}
+	n.sendUnblock(r, true)
+
+	// Resume the access that needed this line.
+	n.finishAccess()
+	op := n.cur.Ops[n.opIdx]
+	n.state = nsRunning
+	n.accessRetries = 0
+	switch {
+	case !r.isWrite || r.promoted:
+		// A load (possibly promoted to exclusive).
+		if r.promoted {
+			e.State = cache.Modified
+		}
+		n.readPhaseDone(e, op.Addr)
+	default:
+		v := op.Value
+		if op.Kind == OpIncr {
+			v = n.rdVal + 1
+		}
+		n.writeDone(e, op.Addr, v)
+	}
+}
+
+// installPostAbort caches a line that arrived after our transaction died.
+// The protocol completed, so we take the copy (unpinned); the data is
+// untouched.
+func (n *node) installPostAbort(r *outstanding) {
+	if e := n.l1.Lookup(r.line); e != nil {
+		if r.isWrite {
+			e.State = cache.Modified
+		}
+		return
+	}
+	st := cache.Shared
+	if r.isWrite {
+		st = cache.Modified
+	}
+	if e, evicted, was := n.l1.Insert(r.line, st, r.data); e != nil && was {
+		n.handleEviction(evicted)
+	}
+}
+
+func (n *node) drainContinue() {
+	if n.state == nsAbortDrain {
+		n.scheduleRestart()
+	}
+}
+
+func (n *node) reissue() {
+	n.state = nsRunning
+	n.execOp()
+}
+
+func (n *node) sendUnblock(r *outstanding, success bool) {
+	if !r.isWrite && !r.dataFromOwner && !r.sawNack {
+		return // GETS satisfied at the home node: the directory never blocked
+	}
+	if !r.isWrite && !r.dataFromOwner && r.sawNack && !r.soleDone {
+		return // defensive: a GETS can only be NACKed by a sole owner
+	}
+	msg := &coherence.Msg{
+		Type: coherence.MsgUnblock, Line: r.line, Src: n.id, Dst: r.home,
+		Requester: n.id, ReqID: r.id, Success: success,
+		AbortedSharers: r.abortedSharers,
+	}
+	if r.mpSeen {
+		msg.MPBit = true
+		msg.MPNode = r.mpNode
+		msg.Prio = r.mpPrio
+	}
+	n.m.send(msg)
+}
+
+// handleEviction processes a victim displaced from the L1.
+func (n *node) handleEviction(v cache.Entry) {
+	if v.Pinned {
+		panic(fmt.Sprintf("machine: node %d evicted pinned line %v", n.id, v.Line))
+	}
+	if v.State != cache.Modified {
+		return // silent eviction of clean lines
+	}
+	// Retain the data until the directory acknowledges the writeback.
+	n.wbWait[v.Line] = v.Data
+	n.m.send(&coherence.Msg{
+		Type: coherence.MsgPUTX, Line: v.Line, Src: n.id,
+		Dst: n.m.home.Home(v.Line), Requester: n.id,
+		Data: v.Data, HasData: true,
+	})
+}
+
+// ---- forward (sharer/owner) handling ------------------------------------
+
+// handleForward services a directory-forwarded request against this node's
+// cache and transactional state.
+func (n *node) handleForward(f *coherence.Msg) {
+	l := f.Line
+	n.trace("fwd %v line %v from req%d prio=%d write=%v ubit=%v", f.Type, f.Line, f.Requester, f.Prio, f.IsWrite, f.UBit)
+	if n.tx.Running() && n.tx.ConflictsWith(l, f.IsWrite) {
+		if htm.Older(n.tx.Prio, n.id, f.Prio, f.Requester) {
+			// We win: NACK, with a T_est notification when the scheme
+			// enables it (a correctly predicted unicast always notifies).
+			n.subscribeWakeup(l, f.Requester)
+			n.nack(f, n.tEst(), false, true)
+			return
+		}
+		if f.UBit {
+			// Misprediction: we would lose, but granting a unicast request
+			// would bypass the other sharers. NACK conservatively with MP
+			// feedback carrying our true (younger) priority (Sec. III-C).
+			n.nack(f, 0, true, true)
+			return
+		}
+		// We lose: abort, then grant after rollback completes.
+		cause := CauseTxGETS
+		if f.IsWrite {
+			cause = CauseTxGETX
+		}
+		if !f.IsTx {
+			cause = CauseNonTx
+		}
+		lat := n.abortTx(cause, false)
+		n.after(lat, func() { n.grant(f, true) })
+		return
+	}
+	if n.tx.Status == htm.StatusAborting && n.tx.InWriteSet(l) {
+		// Mid-rollback: the speculative data is not yet restored. NACK;
+		// flag a misprediction on unicasts so the stale priority is purged
+		// (the dying transaction will not nack this line again). The
+		// rollback completes shortly, so the waiter subscribes for the
+		// wakeup that finishAbort fires.
+		n.subscribeWakeup(l, f.Requester)
+		n.nack(f, 0, f.UBit, false)
+		return
+	}
+	if f.UBit {
+		// Unicast to a node with no conflicting transaction: the
+		// prediction was stale. NACK with MP feedback — granting is
+		// unsafe because the other sharers kept their copies. Report
+		// NoPriority ("I will not nack this line"): the node may still be
+		// on the directory's conservative sharer list without holding the
+		// line, and refreshing its old retained priority would make the
+		// predictor re-pick it on every retry.
+		n.nack(f, 0, true, false)
+		return
+	}
+	n.grant(f, false)
+}
+
+// tEst computes the notification payload: this transaction's estimated
+// remaining cycles, when the scheme enables notification.
+func (n *node) tEst() sim.Time {
+	if !n.cmgr.Notify() {
+		return 0
+	}
+	elapsed := n.m.eng.Now() - n.tx.BeginCycle
+	return n.txlb.EstimateRemaining(n.cur.StaticID, elapsed)
+}
+
+// nack rejects a forward. conflicting reports whether this node holds a
+// genuine conflict on the line: a conflicting misprediction NACK carries
+// this node's true current priority so the directory can refresh its stale
+// P-Buffer entry (via the requester's UNBLOCK), while a non-conflicting one
+// carries NoPriority ("I will not nack this line"), invalidating it.
+func (n *node) nack(f *coherence.Msg, tEst sim.Time, mp bool, conflicting bool) {
+	prio := htm.NoPriority
+	if conflicting && n.tx.InFlight() {
+		prio = n.tx.Prio
+	}
+	n.m.send(&coherence.Msg{
+		Type: coherence.MsgNack, Line: f.Line, Src: n.id, Dst: f.Requester,
+		Requester: f.Requester, ReqID: f.ReqID, Prio: prio,
+		TEst: tEst, MPBit: mp, UBit: f.UBit, Sole: f.UBit || n.isOwnerResponse(f.Line),
+	})
+}
+
+// isOwnerResponse reports whether this node is responding as the line's
+// exclusive owner (so its response is the only one the requester gets).
+func (n *node) isOwnerResponse(l mem.Line) bool {
+	if _, ok := n.wbWait[l]; ok {
+		return true
+	}
+	e := n.l1.Lookup(l)
+	return e != nil && (e.State == cache.Modified || e.State == cache.Exclusive)
+}
+
+// grant satisfies a forward: invalidation ACK from a sharer, or a
+// cache-to-cache transfer from the owner. aborted marks responses that
+// followed a self-abort (counted by the requester for Figs. 2/3).
+func (n *node) grant(f *coherence.Msg, aborted bool) {
+	l := f.Line
+	if f.IsWrite && n.req != nil && n.req.line == l && !n.req.isWrite {
+		// We are honouring an invalidation while our own read of the same
+		// line is in flight: the data that arrives may predate the write,
+		// so it must be discarded. (Set only on granted forwards — a
+		// NACKed request invalidates nothing, and flagging it would let a
+		// repeatedly NACKed unicast writer starve our pending read.)
+		n.req.staleData = true
+	}
+	if data, ok := n.wbWait[l]; ok {
+		// Our PUTX raced with this forward; serve it from the retained
+		// copy and drop the line (the directory will answer WBStale).
+		delete(n.wbWait, l)
+		n.sendOwnerData(f, data, aborted)
+		if !f.IsWrite {
+			// A read downgrade blocks the directory until the writeback
+			// copy arrives; send it even though our cached line is gone.
+			n.m.send(&coherence.Msg{
+				Type: coherence.MsgWBData, Line: l, Src: n.id, Dst: n.m.home.Home(l),
+				Data: data, HasData: true,
+			})
+		}
+		return
+	}
+	e := n.l1.Lookup(l)
+	if e == nil {
+		if !f.IsWrite {
+			// FwdGETS reaches us only as the registered owner, and an
+			// owner's copy leaves only through a forward (directory
+			// serialized) or a writeback (retained in wbWait until WBAck),
+			// so a missing line here is protocol drift.
+			panic(fmt.Sprintf("machine: node %d got FwdGETS for %v but holds no copy", n.id, l))
+		}
+		// Silently evicted shared line: acknowledge the invalidation.
+		n.m.send(&coherence.Msg{
+			Type: coherence.MsgAck, Line: l, Src: n.id, Dst: f.Requester,
+			Requester: f.Requester, ReqID: f.ReqID, AbortedSharer: aborted,
+		})
+		return
+	}
+	isOwner := e.State == cache.Modified || e.State == cache.Exclusive
+	if f.IsWrite {
+		data := e.Data
+		n.l1.Invalidate(l)
+		if isOwner {
+			n.sendOwnerData(f, data, aborted)
+		} else {
+			n.m.send(&coherence.Msg{
+				Type: coherence.MsgAck, Line: l, Src: n.id, Dst: f.Requester,
+				Requester: f.Requester, ReqID: f.ReqID, AbortedSharer: aborted,
+			})
+		}
+		return
+	}
+	// FwdGETS reaches us only as owner: downgrade, send data to the
+	// requester and a writeback copy to the directory.
+	if !isOwner {
+		panic(fmt.Sprintf("machine: node %d got FwdGETS without ownership of %v", n.id, l))
+	}
+	e.State = cache.Shared
+	n.sendOwnerData(f, e.Data, aborted)
+	n.m.send(&coherence.Msg{
+		Type: coherence.MsgWBData, Line: l, Src: n.id, Dst: n.m.home.Home(l),
+		Data: e.Data, HasData: true,
+	})
+}
+
+func (n *node) sendOwnerData(f *coherence.Msg, data mem.LineData, aborted bool) {
+	n.m.send(&coherence.Msg{
+		Type: coherence.MsgData, Line: f.Line, Src: n.id, Dst: f.Requester,
+		Requester: f.Requester, ReqID: f.ReqID, Data: data, HasData: true,
+		Sole: true, AbortedSharer: aborted,
+	})
+}
+
+// subscribeWakeup (PUNO-Push) records a NACKed requester to ping when this
+// transaction finishes. The table is bounded like the hardware would be:
+// at most 8 lines with 4 waiters each.
+func (n *node) subscribeWakeup(l mem.Line, requester int) {
+	if n.m.cfg.Scheme != SchemePUNOPush {
+		return
+	}
+	subs, ok := n.wakeupSubs[l]
+	if !ok {
+		if len(n.wakeupSubs) >= 8 {
+			return
+		}
+		subs = make(map[int]struct{}, 4)
+		n.wakeupSubs[l] = subs
+	}
+	if len(subs) >= 4 {
+		return
+	}
+	subs[requester] = struct{}{}
+}
+
+// fireWakeups (PUNO-Push) pings every recorded waiter: this node's
+// transaction has committed or finished aborting, so its NACKs no longer
+// stand and the waiters should retry immediately instead of sleeping out
+// their estimates. This implements the paper's future-work item of
+// "performing coherence actions speculatively to accelerate
+// inter-transaction communication".
+func (n *node) fireWakeups() {
+	if len(n.wakeupSubs) == 0 {
+		return
+	}
+	for l, subs := range n.wakeupSubs {
+		for dst := range subs {
+			n.m.send(&coherence.Msg{
+				Type: coherence.MsgWakeup, Line: l, Src: n.id, Dst: dst,
+				Requester: dst,
+			})
+		}
+		delete(n.wakeupSubs, l)
+	}
+}
+
+// handleWakeup retries the current access immediately when a wakeup names
+// the line this node is backing off on; stale wakeups are dropped.
+func (n *node) handleWakeup(m *coherence.Msg) {
+	if n.state != nsBackoff {
+		return
+	}
+	if n.opIdx >= len(n.cur.Ops) {
+		return
+	}
+	op := n.cur.Ops[n.opIdx]
+	if op.Kind == OpCompute || mem.LineOf(op.Addr) != m.Line {
+		return
+	}
+	n.cancelPending()
+	n.state = nsRunning
+	n.execOp()
+}
+
+// handleWB processes writeback acknowledgements.
+func (n *node) handleWB(m *coherence.Msg) {
+	switch m.Type {
+	case coherence.MsgWBAck:
+		delete(n.wbWait, m.Line)
+	case coherence.MsgWBStale:
+		// A forward is (or was) in flight and will consume the retained
+		// copy; nothing to do — grant() removes the entry when it arrives.
+	default:
+		panic(fmt.Sprintf("machine: node %d unexpected WB message %v", n.id, m.Type))
+	}
+}

@@ -1,0 +1,165 @@
+package machine
+
+import (
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// GETXOutcome classifies one transactional GETX request by what it did to
+// the system — the taxonomy behind Fig. 2.
+type GETXOutcome int
+
+// Outcomes of a transactional GETX.
+const (
+	// OutcomeClean: granted without disturbing any transaction.
+	OutcomeClean GETXOutcome = iota
+	// OutcomeResolvedAborts: granted; the sharers it aborted were
+	// necessary (the request succeeded, so the conflicts were real).
+	OutcomeResolvedAborts
+	// OutcomeNackOnly: rejected by a higher-priority transaction without
+	// aborting anyone (the unicast ideal).
+	OutcomeNackOnly
+	// OutcomeFalseAbort: rejected AND it aborted one or more
+	// lower-priority sharers on the way — false aborting (Sec. II-C).
+	OutcomeFalseAbort
+	numOutcomes
+)
+
+// String implements fmt.Stringer.
+func (o GETXOutcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "clean"
+	case OutcomeResolvedAborts:
+		return "resolved-aborts"
+	case OutcomeNackOnly:
+		return "nack-only"
+	case OutcomeFalseAbort:
+		return "false-abort"
+	default:
+		return "outcome(?)"
+	}
+}
+
+// AbortCause attributes a transaction abort to its trigger.
+type AbortCause int
+
+// Abort causes.
+const (
+	CauseTxGETX   AbortCause = iota // conflicting transactional write request
+	CauseTxGETS                     // conflicting transactional read request
+	CauseNonTx                      // conflicting non-transactional request
+	CauseOverflow                   // transactional set overflowed the L1
+	numCauses
+)
+
+// Result is everything measured in one run. All cycle quantities are in
+// core clock cycles.
+type Result struct {
+	Workload string
+	Scheme   Scheme
+	Cycles   sim.Time // execution time: cycle the last thread finished
+
+	Commits uint64
+	Aborts  uint64 // total transaction aborts (Fig. 10 numerator)
+
+	AbortsByCause [numCauses]uint64
+
+	// Transactional GETX classification (Figs. 2 and 3). TxGETXIssued
+	// counts every protocol-level request including retries;
+	// TxGETXAccesses counts logical write accesses (the Fig. 2
+	// denominator — one classification per access, accumulated across its
+	// retries).
+	TxGETXIssued   uint64
+	TxGETXAccesses uint64
+	GETXOutcomes   [numOutcomes]uint64
+	FalseAbortHist map[int]uint64 // #transactions falsely aborted per false-aborting request
+
+	// Transaction execution efficiency (Fig. 14).
+	GoodCycles      uint64 // cycles inside attempts that committed
+	DiscardedCycles uint64 // cycles inside attempts that aborted
+
+	// Interconnect (Fig. 11).
+	Net noc.Stats
+
+	// Directory blocking (Fig. 12) and other directory-side counters.
+	DirTxGETXBusy     uint64
+	DirTxGETXServices uint64 // TxGETX requests the directories accepted
+	DirBusyAll        uint64
+	DirBusyNacks      uint64
+	DirUnicasts       uint64
+	DirMulticastFwds  uint64
+	Mispredictions    uint64
+
+	// Requester-side behaviour.
+	Nacks            uint64 // NACKed request attempts
+	Retries          uint64 // request re-issues after NACK
+	BackoffCycles    uint64 // cycles spent in polling backoff
+	RestartWaitCycle uint64 // cycles spent in post-abort restart backoff
+	NotifiedBackoffs uint64 // retries whose delay came from a T_est notification
+
+	PerNodeCommits []uint64
+	PerNodeAborts  []uint64
+
+	// Timeline holds periodic samples when Config.SampleInterval is set.
+	Timeline []Sample
+}
+
+// Sample is one Timeline entry: the interval's deltas.
+type Sample struct {
+	Cycle   sim.Time
+	Commits uint64
+	Aborts  uint64
+	Traffic uint64 // router traversals in the interval
+	LiveTxs int    // transactions in flight at the sample instant
+}
+
+// AbortRate returns aborts / (aborts + commits), the Table I metric.
+func (r *Result) AbortRate() float64 {
+	total := r.Aborts + r.Commits
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Aborts) / float64(total)
+}
+
+// FalseAbortFraction returns the fraction of transactional GETX requests
+// that incurred false aborting (Fig. 2).
+func (r *Result) FalseAbortFraction() float64 {
+	if r.TxGETXAccesses == 0 {
+		return 0
+	}
+	return float64(r.GETXOutcomes[OutcomeFalseAbort]) / float64(r.TxGETXAccesses)
+}
+
+// GDRatio returns good / discarded transactional cycles (Fig. 14). When
+// nothing was discarded the ratio is reported against one cycle to stay
+// finite.
+func (r *Result) GDRatio() float64 {
+	d := r.DiscardedCycles
+	if d == 0 {
+		d = 1
+	}
+	return float64(r.GoodCycles) / float64(d)
+}
+
+// DirBlockingPerTxGETX returns the average cycles a directory entry stayed
+// blocked per transactional GETX service — the Fig. 12 metric ("averaging
+// the number of cycles during which directory entries stay in a blocking
+// transient state when servicing transactional GETX").
+func (r *Result) DirBlockingPerTxGETX() float64 {
+	if r.DirTxGETXServices == 0 {
+		return 0
+	}
+	return float64(r.DirTxGETXBusy) / float64(r.DirTxGETXServices)
+}
+
+// UnnecessaryAborts returns the total transactions aborted by requests that
+// were ultimately NACKed (the integral of the Fig. 3 histogram).
+func (r *Result) UnnecessaryAborts() uint64 {
+	var n uint64
+	for k, c := range r.FalseAbortHist {
+		n += uint64(k) * c
+	}
+	return n
+}

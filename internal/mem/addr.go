@@ -1,0 +1,117 @@
+// Package mem defines the simulated physical address space: cache-line
+// geometry, static home-node (bank) interleaving, word-granularity line
+// data, and a flat backing store. It also provides a golden serial memory
+// used by tests to check that committed transactions are serializable.
+package mem
+
+import "fmt"
+
+// Geometry constants for the simulated machine. A 64-byte line of eight
+// 64-bit words matches the paper's system configuration.
+const (
+	LineBytes     = 64
+	WordBytes     = 8
+	WordsPerLine  = LineBytes / WordBytes
+	lineOffsetBit = 6 // log2(LineBytes)
+)
+
+// Addr is a word-aligned physical address.
+type Addr uint64
+
+// Line is a cache-line-aligned address (the low lineOffsetBit bits are 0).
+type Line uint64
+
+// LineOf returns the cache line containing a.
+func LineOf(a Addr) Line { return Line(uint64(a) &^ (LineBytes - 1)) }
+
+// WordIndex returns the index of a's word within its line, in [0,WordsPerLine).
+func WordIndex(a Addr) int { return int(uint64(a)>>3) & (WordsPerLine - 1) }
+
+// Word returns the i'th word address within line l.
+func (l Line) Word(i int) Addr {
+	if i < 0 || i >= WordsPerLine {
+		panic(fmt.Sprintf("mem: word index %d out of range", i))
+	}
+	return Addr(uint64(l) + uint64(i*WordBytes))
+}
+
+// String implements fmt.Stringer.
+func (l Line) String() string { return fmt.Sprintf("0x%x", uint64(l)) }
+
+// HomeMap statically maps lines to home nodes (directory/L2 bank slices) by
+// interleaving consecutive lines across banks, the "static cache bank
+// directory" arrangement in the paper's Table II.
+type HomeMap struct {
+	banks int
+}
+
+// NewHomeMap returns a map over banks home nodes. banks must be positive.
+func NewHomeMap(banks int) HomeMap {
+	if banks <= 0 {
+		panic("mem: non-positive bank count")
+	}
+	return HomeMap{banks: banks}
+}
+
+// Banks returns the number of banks.
+func (h HomeMap) Banks() int { return h.banks }
+
+// Home returns the home node of line l.
+func (h HomeMap) Home(l Line) int {
+	return int((uint64(l) >> lineOffsetBit) % uint64(h.banks))
+}
+
+// LineData is the word contents of one cache line.
+type LineData [WordsPerLine]uint64
+
+// Backing is the flat main-memory image: a map from line to contents.
+// Untouched lines read as zero. Backing is not safe for concurrent use; the
+// simulator is single-threaded by design.
+type Backing struct {
+	lines map[Line]*LineData
+}
+
+// NewBacking returns an empty (all-zero) memory image.
+func NewBacking() *Backing {
+	return &Backing{lines: make(map[Line]*LineData)}
+}
+
+// Load returns a copy of line l.
+func (b *Backing) Load(l Line) LineData {
+	if d, ok := b.lines[l]; ok {
+		return *d
+	}
+	return LineData{}
+}
+
+// Store replaces line l.
+func (b *Backing) Store(l Line, d LineData) {
+	p, ok := b.lines[l]
+	if !ok {
+		p = new(LineData)
+		b.lines[l] = p
+	}
+	*p = d
+}
+
+// LoadWord reads one word.
+func (b *Backing) LoadWord(a Addr) uint64 {
+	if d, ok := b.lines[LineOf(a)]; ok {
+		return d[WordIndex(a)]
+	}
+	return 0
+}
+
+// StoreWord writes one word.
+func (b *Backing) StoreWord(a Addr, v uint64) {
+	l := LineOf(a)
+	p, ok := b.lines[l]
+	if !ok {
+		p = new(LineData)
+		b.lines[l] = p
+	}
+	p[WordIndex(a)] = v
+}
+
+// Touched returns the number of distinct lines ever stored.
+func (b *Backing) Touched() int { return len(b.lines) }

@@ -1,0 +1,264 @@
+// Package noc models the on-chip interconnect: a 2D mesh with
+// dimension-order routing, a fixed router pipeline depth, per-link
+// serialization with contention, and flit-level traffic accounting. The
+// model reproduces the quantities the paper measures — end-to-end message
+// latency (which drives polling and backoff behaviour) and "router
+// traversals by all network flits" (the Fig. 11 traffic metric) — without
+// simulating individual flit hops, which would dominate simulation time
+// while adding nothing to the studied effects.
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Class is the virtual-network class of a message. Separate classes mirror
+// the request/forward/response virtual channels a deadlock-free directory
+// protocol requires, and let the traffic report break flit-hops down by
+// message role.
+type Class int
+
+// Message classes.
+const (
+	ClassRequest  Class = iota // GETS/GETX from L1 to directory
+	ClassForward               // directory-to-sharer forwards and invalidations
+	ClassResponse              // data, ACK, NACK, UNBLOCK
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassRequest:
+		return "request"
+	case ClassForward:
+		return "forward"
+	case ClassResponse:
+		return "response"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Config holds mesh timing parameters. The defaults (DefaultConfig) follow
+// the paper's Table II: a 4x4 mesh of 4-stage routers with single-cycle
+// links.
+type Config struct {
+	Width, Height int
+	RouterStages  sim.Time // pipeline depth of one router
+	LinkCycles    sim.Time // cycles for one flit to cross one link
+	LocalCycles   sim.Time // latency of a node-local (src == dst) message
+}
+
+// DefaultConfig is the paper's 16-node mesh.
+func DefaultConfig() Config {
+	return Config{Width: 4, Height: 4, RouterStages: 4, LinkCycles: 1, LocalCycles: 1}
+}
+
+// Handler receives a delivered message payload at a node.
+type Handler func(payload any)
+
+// Stats aggregates network accounting for one run.
+type Stats struct {
+	Messages        [numClasses]uint64 // messages sent per class
+	Flits           [numClasses]uint64 // flits injected per class
+	RouterTraversal [numClasses]uint64 // flits x routers visited per class
+	TotalLatency    uint64             // sum of end-to-end latencies (cycles)
+	QueueingDelay   uint64             // portion of latency due to link contention
+}
+
+// TotalTraversals returns the Fig. 11 metric: router traversals summed over
+// every flit of every class.
+func (s Stats) TotalTraversals() uint64 {
+	var t uint64
+	for _, v := range s.RouterTraversal {
+		t += v
+	}
+	return t
+}
+
+// TotalMessages returns messages sent across all classes.
+func (s Stats) TotalMessages() uint64 {
+	var t uint64
+	for _, v := range s.Messages {
+		t += v
+	}
+	return t
+}
+
+// Mesh is the interconnect instance. It is wired to a sim.Engine at
+// construction; Send computes the delivery time of a message and schedules
+// the destination handler.
+type Mesh struct {
+	cfg      Config
+	eng      *sim.Engine
+	handlers []Handler
+	// linkFree[l] is the earliest cycle at which directed link l can begin
+	// serializing another message's flits.
+	linkFree []sim.Time
+	stats    Stats
+}
+
+// New returns a mesh attached to eng. Node handlers start nil; Attach must
+// be called for every node that can receive.
+func New(cfg Config, eng *sim.Engine) *Mesh {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("noc: non-positive mesh dimensions")
+	}
+	n := cfg.Width * cfg.Height
+	return &Mesh{
+		cfg:      cfg,
+		eng:      eng,
+		handlers: make([]Handler, n),
+		// 4 directed links per node is an upper bound (E,W,N,S).
+		linkFree: make([]sim.Time, n*4),
+	}
+}
+
+// Nodes returns the number of nodes in the mesh.
+func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
+
+// Attach registers the receive handler for node id.
+func (m *Mesh) Attach(id int, h Handler) {
+	m.handlers[id] = h
+}
+
+// Stats returns a snapshot of the accumulated network statistics.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// ResetStats clears the accumulated statistics (the warm-up discard used by
+// the experiment harness).
+func (m *Mesh) ResetStats() { m.stats = Stats{} }
+
+func (m *Mesh) xy(id int) (x, y int) { return id % m.cfg.Width, id / m.cfg.Width }
+
+// direction indices for the per-node directed output links.
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+func (m *Mesh) linkIndex(node, dir int) int { return node*4 + dir }
+
+// Route returns the sequence of (node, outDir) hops a message takes from
+// src to dst under X-then-Y dimension-order routing. An empty slice means a
+// node-local message.
+func (m *Mesh) Route(src, dst int) []int {
+	if src == dst {
+		return nil
+	}
+	sx, sy := m.xy(src)
+	dx, dy := m.xy(dst)
+	var links []int
+	x, y := sx, sy
+	for x != dx {
+		if x < dx {
+			links = append(links, m.linkIndex(y*m.cfg.Width+x, dirEast))
+			x++
+		} else {
+			links = append(links, m.linkIndex(y*m.cfg.Width+x, dirWest))
+			x--
+		}
+	}
+	for y != dy {
+		if y < dy {
+			links = append(links, m.linkIndex(y*m.cfg.Width+x, dirSouth))
+			y++
+		} else {
+			links = append(links, m.linkIndex(y*m.cfg.Width+x, dirNorth))
+			y--
+		}
+	}
+	return links
+}
+
+// Hops returns the Manhattan distance between src and dst.
+func (m *Mesh) Hops(src, dst int) int {
+	sx, sy := m.xy(src)
+	dx, dy := m.xy(dst)
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// AverageHops returns the mean Manhattan distance over all ordered pairs of
+// distinct nodes. PUNO uses it to derive the average cache-to-cache latency
+// for the notification guard band.
+func (m *Mesh) AverageHops() float64 {
+	n := m.Nodes()
+	total, pairs := 0, 0
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			total += m.Hops(s, d)
+			pairs++
+		}
+	}
+	return float64(total) / float64(pairs)
+}
+
+// AverageLatency returns the uncontended end-to-end latency of a f-flit
+// message over the average-hop path, in cycles.
+func (m *Mesh) AverageLatency(flits int) sim.Time {
+	h := sim.Time(m.AverageHops() + 0.5)
+	// Per hop: router pipeline + link; plus serialization of the tail flits.
+	return (h+1)*m.cfg.RouterStages + h*m.cfg.LinkCycles + sim.Time(flits-1)
+}
+
+// Send injects a message of the given class and flit count from src to dst
+// and schedules handler(dst) at its delivery time. The delivery time
+// accounts for router pipeline depth, link serialization of all flits, and
+// queueing when a link is busy with earlier traffic.
+func (m *Mesh) Send(src, dst int, class Class, flits int, payload any) {
+	if flits <= 0 {
+		panic("noc: message with no flits")
+	}
+	h := m.handlers[dst]
+	if h == nil {
+		panic(fmt.Sprintf("noc: no handler attached at node %d", dst))
+	}
+	m.stats.Messages[class]++
+	m.stats.Flits[class] += uint64(flits)
+
+	now := m.eng.Now()
+	if src == dst {
+		m.stats.TotalLatency += uint64(m.cfg.LocalCycles)
+		m.eng.After(m.cfg.LocalCycles, func() { h(payload) })
+		return
+	}
+
+	route := m.Route(src, dst)
+	// Head-flit arrival time threading through each router and link.
+	t := now + m.cfg.RouterStages // source router pipeline
+	var queueing sim.Time
+	for _, link := range route {
+		depart := t
+		if m.linkFree[link] > depart {
+			queueing += m.linkFree[link] - depart
+			depart = m.linkFree[link]
+		}
+		// The link serializes all flits of this message.
+		m.linkFree[link] = depart + sim.Time(flits)*m.cfg.LinkCycles
+		// Head flit reaches the next router, then traverses its pipeline.
+		t = depart + m.cfg.LinkCycles + m.cfg.RouterStages
+	}
+	// Tail flit trails the head by (flits-1) cycles at the destination.
+	t += sim.Time(flits-1) * m.cfg.LinkCycles
+
+	// Every flit visits every router on the path (hops+1 routers).
+	m.stats.RouterTraversal[class] += uint64(flits) * uint64(len(route)+1)
+	m.stats.TotalLatency += uint64(t - now)
+	m.stats.QueueingDelay += uint64(queueing)
+	m.eng.At(t, func() { h(payload) })
+}

@@ -1,0 +1,166 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV, with the normalization helpers the paper's figures use (values
+// normalized to the baseline scheme, arithmetic and geometric means).
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table accumulates rows with a fixed header and renders aligned text or
+// CSV.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns an empty table.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; values are formatted with %v (floats get %.3g via
+// AddFloatRow when uniform precision matters).
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Cell formats one value for a table cell.
+func Cell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return fmt.Sprintf("%.3f", x)
+	case float32:
+		return fmt.Sprintf("%.3f", x)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quoting cells that
+// contain commas).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Normalize returns vals[i]/base; base==0 yields 0.
+func Normalize(vals []float64, base float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		if base != 0 {
+			out[i] = v / base
+		}
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// GeoMean returns the geometric mean of positive values (0 if any value is
+// non-positive or the input is empty).
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+// Histogram renders an integer-keyed count map as a sorted "k: count (bar)"
+// block, the Fig. 3 presentation.
+func Histogram(title string, h map[int]uint64) string {
+	var keys []int
+	var total uint64
+	for k, v := range h {
+		keys = append(keys, k)
+		total += v
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	if total == 0 {
+		b.WriteString("(empty)\n")
+		return b.String()
+	}
+	for _, k := range keys {
+		frac := float64(h[k]) / float64(total)
+		bar := strings.Repeat("#", int(frac*50+0.5))
+		fmt.Fprintf(&b, "%3d: %6.1f%% %s\n", k, 100*frac, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// All data lines equal width (aligned columns).
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("header/separator misaligned:\n%s", out)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`x,y`, `say "hi"`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("comma cell not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"say ""hi"""`) {
+		t.Fatalf("quote cell not escaped: %s", csv)
+	}
+}
+
+func TestCell(t *testing.T) {
+	if Cell(1.23456) != "1.235" {
+		t.Fatalf("Cell(float) = %q", Cell(1.23456))
+	}
+	if Cell(42) != "42" {
+		t.Fatalf("Cell(int) = %q", Cell(42))
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 6}, 2)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Normalize = %v", got)
+		}
+	}
+	if z := Normalize([]float64{1}, 0); z[0] != 0 {
+		t.Fatal("division by zero base not guarded")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 2", g)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("GeoMean with zero should be 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+}
+
+// Property: geometric mean of positive values lies between min and max.
+func TestGeoMeanBounded(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			vals[i] = float64(r) + 1
+			lo = math.Min(lo, vals[i])
+			hi = math.Max(hi, vals[i])
+		}
+		g := GeoMean(vals)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("fig3", map[int]uint64{1: 50, 5: 50})
+	if !strings.Contains(out, "  1:   50.0%") || !strings.Contains(out, "  5:   50.0%") {
+		t.Fatalf("histogram format wrong:\n%s", out)
+	}
+	empty := Histogram("none", nil)
+	if !strings.Contains(empty, "(empty)") {
+		t.Fatal("empty histogram not flagged")
+	}
+}

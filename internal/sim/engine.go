@@ -1,0 +1,149 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a cycle clock, a binary-heap event queue with stable FIFO tie-breaking,
+// and a seeded pseudo-random number generator. Every run with the same seed
+// and the same schedule of events produces bit-identical results, which the
+// experiment harness relies on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulation timestamp in clock cycles.
+type Time uint64
+
+// Infinity is a time later than any reachable simulation time.
+const Infinity Time = math.MaxUint64
+
+// Event is a callback scheduled to run at a given cycle.
+type Event func()
+
+type queuedEvent struct {
+	at  Time
+	seq uint64 // insertion order; breaks ties so same-cycle events run FIFO
+	fn  Event
+	idx int // heap index; -1 once popped or cancelled
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ qe *queuedEvent }
+
+// Zero returns true for the zero EventID (no event).
+func (id EventID) Zero() bool { return id.qe == nil }
+
+type eventHeap []*queuedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	qe := x.(*queuedEvent)
+	qe.idx = len(*h)
+	*h = append(*h, qe)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	qe := old[n-1]
+	old[n-1] = nil
+	qe.idx = -1
+	*h = old[:n-1]
+	return qe
+}
+
+// Engine is the discrete-event simulation core. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	nRun    uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.nRun }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute cycle t. Scheduling in the past (t <
+// Now) panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, fn Event) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	qe := &queuedEvent{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, qe)
+	return EventID{qe}
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Time, fn Event) EventID {
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-run or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(id EventID) bool {
+	if id.qe == nil || id.qe.idx < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, id.qe.idx)
+	id.qe.idx = -1
+	id.qe.fn = nil
+	return true
+}
+
+// Step runs the single next event. It returns false if the queue is empty
+// or the engine has been stopped.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.queue) == 0 {
+		return false
+	}
+	qe := heap.Pop(&e.queue).(*queuedEvent)
+	e.now = qe.at
+	e.nRun++
+	qe.fn()
+	return true
+}
+
+// Run executes events until the queue drains, Stop is called, or the clock
+// passes limit (use Infinity for no limit). It returns the cycle at which it
+// stopped.
+func (e *Engine) Run(limit Time) Time {
+	for !e.stopped && len(e.queue) > 0 {
+		if e.queue[0].at > limit {
+			e.now = limit
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}
+
+// Stop halts Run after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(12345), NewRNG(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced stuck generator")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for n := 1; n < 50; n++ {
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(3)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(5)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit rate %v, want ~0.25", frac)
+	}
+}
+
+func TestRNGForkIndependent(t *testing.T) {
+	parent := NewRNG(42)
+	c1 := parent.Fork(1)
+	c2 := parent.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked children produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGShuffleIsPermutation(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		n := int(size%64) + 1
+		r := NewRNG(seed)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = i
+		}
+		r.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		seen := make([]bool, n)
+		for _, v := range vals {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGUint64nBounds(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(17); v >= 17 {
+			t.Fatalf("Uint64n(17) = %d", v)
+		}
+	}
+}

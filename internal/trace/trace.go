@@ -1,0 +1,173 @@
+// Package trace records transactional workloads to a portable format and
+// replays them. A trace pins down the exact per-node transaction streams,
+// which makes experiments shareable (ship the trace, not the generator),
+// lets users hand-author workloads in files, and guarantees that scheme
+// comparisons run identical op streams even for generators that consume
+// randomness in scheme-dependent ways.
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Trace is a fully materialized workload: one transaction list per node.
+// It implements machine.Workload.
+type Trace struct {
+	WorkloadName string
+	High         bool
+	PerNode      [][]machine.TxInstance
+}
+
+// Name implements machine.Workload.
+func (t *Trace) Name() string { return t.WorkloadName }
+
+// HighContention implements machine.Workload.
+func (t *Trace) HighContention() bool { return t.High }
+
+// Program implements machine.Workload.
+func (t *Trace) Program(node int, _ *sim.RNG) machine.Program {
+	if node >= len(t.PerNode) {
+		return &machine.SliceProgram{}
+	}
+	return &machine.SliceProgram{Txs: t.PerNode[node]}
+}
+
+// Nodes returns the number of recorded per-node streams.
+func (t *Trace) Nodes() int { return len(t.PerNode) }
+
+// Transactions returns the total recorded transaction count.
+func (t *Trace) Transactions() int {
+	n := 0
+	for _, txs := range t.PerNode {
+		n += len(txs)
+	}
+	return n
+}
+
+// Record materializes wl for a machine of `nodes` nodes by draining each
+// node's program with the same RNG derivation the machine uses
+// (rootSeed forks exactly like machine.New), so a recorded trace replays
+// the very streams a live run with that seed would execute.
+func Record(wl machine.Workload, nodes int, rootSeed uint64) *Trace {
+	root := sim.NewRNG(rootSeed)
+	// machine.New forks per-node program RNGs as root.Fork(1000+i) and
+	// per-node core RNGs as root.Fork(i+1). The program generator only
+	// sees the former plus the RNG passed to Next, which the machine
+	// derives from the node's core RNG stream indirectly — here we
+	// reproduce the generation-time stream only, which is what Next uses.
+	coreRNGs := make([]*sim.RNG, nodes)
+	progRNGs := make([]*sim.RNG, nodes)
+	// Fork order must match machine.New: per node, predictor (none here),
+	// program fork, then node fork. machine.New forks 1000+i for programs
+	// and i+1 inside newNode.
+	for i := 0; i < nodes; i++ {
+		progRNGs[i] = root.Fork(1000 + uint64(i))
+		coreRNGs[i] = root.Fork(uint64(i) + 1)
+	}
+	t := &Trace{WorkloadName: wl.Name(), High: wl.HighContention(), PerNode: make([][]machine.TxInstance, nodes)}
+	for i := 0; i < nodes; i++ {
+		prog := wl.Program(i, progRNGs[i])
+		for {
+			tx, ok := prog.Next(coreRNGs[i])
+			if !ok {
+				break
+			}
+			t.PerNode[i] = append(t.PerNode[i], cloneTx(tx))
+		}
+	}
+	return t
+}
+
+func cloneTx(tx machine.TxInstance) machine.TxInstance {
+	ops := make([]machine.Op, len(tx.Ops))
+	copy(ops, tx.Ops)
+	tx.Ops = ops
+	return tx
+}
+
+// format versioning for the on-disk encoding.
+const magic = "punotrace/1"
+
+type fileHeader struct {
+	Magic string
+	Name  string
+	High  bool
+	Nodes int
+}
+
+// Save writes the trace in the package's gob-based format.
+func (t *Trace) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(fileHeader{Magic: magic, Name: t.WorkloadName, High: t.High, Nodes: len(t.PerNode)}); err != nil {
+		return fmt.Errorf("trace: encoding header: %w", err)
+	}
+	for i, txs := range t.PerNode {
+		if err := enc.Encode(txs); err != nil {
+			return fmt.Errorf("trace: encoding node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Load reads a trace written by Save.
+func Load(r io.Reader) (*Trace, error) {
+	dec := gob.NewDecoder(r)
+	var h fileHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: decoding header: %w", err)
+	}
+	if h.Magic != magic {
+		return nil, fmt.Errorf("trace: bad magic %q (want %q)", h.Magic, magic)
+	}
+	if h.Nodes < 0 || h.Nodes > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible node count %d", h.Nodes)
+	}
+	t := &Trace{WorkloadName: h.Name, High: h.High, PerNode: make([][]machine.TxInstance, h.Nodes)}
+	for i := 0; i < h.Nodes; i++ {
+		if err := dec.Decode(&t.PerNode[i]); err != nil {
+			return nil, fmt.Errorf("trace: decoding node %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// Stats summarizes a trace for reports.
+type Stats struct {
+	Transactions int
+	Ops          int
+	Reads        int
+	Writes       int
+	Incrs        int
+	ComputeCyc   sim.Time
+	DistinctTx   map[int]int // static id -> dynamic instances
+}
+
+// Summarize computes aggregate statistics.
+func (t *Trace) Summarize() Stats {
+	s := Stats{DistinctTx: make(map[int]int)}
+	for _, txs := range t.PerNode {
+		for _, tx := range txs {
+			s.Transactions++
+			s.DistinctTx[tx.StaticID]++
+			for _, op := range tx.Ops {
+				s.Ops++
+				switch op.Kind {
+				case machine.OpRead:
+					s.Reads++
+				case machine.OpWrite:
+					s.Writes++
+				case machine.OpIncr:
+					s.Incrs++
+				case machine.OpCompute:
+					s.ComputeCyc += op.Cycles
+				}
+			}
+		}
+	}
+	return s
+}

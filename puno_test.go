@@ -1,0 +1,182 @@
+package puno
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyWorkloads shrinks the suite so API tests stay fast.
+func tinyWorkloads() []*Profile { return ScaledWorkloads(0.08) }
+
+func TestRunSingleWorkload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+	res, err := Run(cfg, MustWorkload("genome").WithTxPerCPU(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 160 {
+		t.Fatalf("commits = %d, want 160", res.Commits)
+	}
+	if res.Cycles == 0 || res.Net.TotalTraversals() == 0 {
+		t.Fatal("empty measurements")
+	}
+}
+
+func TestRunSweepAndFigures(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 9
+	sweep, err := RunSweep(cfg, tinyWorkloads(), Schemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, render := range map[string]func() *Table{
+		"table1": sweep.Table1,
+		"fig2":   sweep.Fig2,
+		"fig10":  sweep.Fig10,
+		"fig11":  sweep.Fig11,
+		"fig12":  sweep.Fig12,
+		"fig13":  sweep.Fig13,
+		"fig14":  sweep.Fig14,
+	} {
+		out := render().String()
+		if !strings.Contains(out, "bayes") || !strings.Contains(out, "vacation") {
+			t.Errorf("%s missing workload rows:\n%s", name, out)
+		}
+		if name != "table1" && name != "fig2" {
+			if !strings.Contains(out, "PUNO") || !strings.Contains(out, "mean(high-cont)") {
+				t.Errorf("%s missing scheme columns or means:\n%s", name, out)
+			}
+		}
+		if csv := render().CSV(); !strings.Contains(csv, ",") {
+			t.Errorf("%s CSV rendering broken", name)
+		}
+	}
+
+	if fig3 := sweep.Fig3All(); !strings.Contains(fig3, "Fig. 3") {
+		t.Errorf("Fig3All produced no histograms:\n%s", fig3)
+	}
+
+	st := sweep.Summary()
+	if st.TrafficReductionHC == 0 && st.AbortReductionHC == 0 {
+		t.Error("summary statistics all zero")
+	}
+}
+
+func TestTable2And3NeedNoSimulation(t *testing.T) {
+	t2 := Table2(DefaultConfig()).String()
+	for _, want := range []string{"L1 cache", "MESI", "mesh", "P-Buffer"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, t2)
+		}
+	}
+	t3 := Table3(16)
+	for _, want := range []string{"Prio-Buffer", "TxLB", "UD pointers", "0.41%", "0.31%"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table3 missing %q:\n%s", want, t3)
+		}
+	}
+}
+
+func TestWorkloadRegistryThroughFacade(t *testing.T) {
+	if len(Workloads()) != 8 {
+		t.Fatalf("Workloads() = %d, want 8", len(Workloads()))
+	}
+	if len(HighContentionWorkloads()) != 4 {
+		t.Fatal("high-contention subset wrong")
+	}
+	if _, err := WorkloadByName("nosuch"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestCustomProfileThroughFacade(t *testing.T) {
+	wl := NewProfile("custom", false, 5,
+		Class{StaticID: 900, Weight: 1, RegionLines: 32, ReadsMin: 2, ReadsMax: 4,
+			WritesMin: 1, WritesMax: 1, WritesFromReads: true, BodyCompute: 50, Think: 30})
+	cfg := DefaultConfig()
+	res, err := Run(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 5*16 {
+		t.Fatalf("commits = %d, want 80", res.Commits)
+	}
+}
+
+func TestCustomWorkloadViaProgramFunc(t *testing.T) {
+	wl := funcWorkload{}
+	m, err := NewMachine(DefaultConfig(), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 16*3 {
+		t.Fatalf("commits = %d, want 48", res.Commits)
+	}
+	// Serializability oracle through the facade.
+	m.DrainCaches()
+	for a, want := range m.CommittedIncrements() {
+		if got := m.Backing().LoadWord(a); got != want {
+			t.Fatalf("addr %#x = %d, want %d", uint64(a), got, want)
+		}
+	}
+}
+
+type funcWorkload struct{}
+
+func (funcWorkload) Name() string         { return "func" }
+func (funcWorkload) HighContention() bool { return false }
+func (funcWorkload) Program(node int, _ *RNG) Program {
+	n := 0
+	return ProgramFunc(func(rng *RNG) (TxInstance, bool) {
+		if n >= 3 {
+			return TxInstance{}, false
+		}
+		n++
+		return TxInstance{
+			StaticID: 7,
+			Ops: []Op{
+				{Kind: OpIncr, Addr: LineAddr(0x9000, rng.Intn(4))},
+				{Kind: OpCompute, Cycles: 25},
+			},
+			ThinkCycles: 40,
+		}, true
+	})
+}
+
+func TestDeterministicSweep(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 77
+	wls := []*Profile{MustWorkload("kmeans").WithTxPerCPU(15)}
+	s1, err := RunSweep(cfg, wls, []Scheme{SchemePUNO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RunSweep(cfg, wls, []Scheme{SchemePUNO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s1.Results["kmeans"][SchemePUNO]
+	b := s2.Results["kmeans"][SchemePUNO]
+	if a.Cycles != b.Cycles || a.Aborts != b.Aborts || a.Net.TotalTraversals() != b.Net.TotalTraversals() {
+		t.Fatal("same-seed sweeps diverged")
+	}
+}
+
+func TestScaledWorkloads(t *testing.T) {
+	full := Workloads()
+	scaled := ScaledWorkloads(0.5)
+	for i := range full {
+		if scaled[i].TxPerCPU() >= full[i].TxPerCPU() {
+			t.Fatalf("%s not scaled down", full[i].Name())
+		}
+		if scaled[i].TxPerCPU() < 2 {
+			t.Fatalf("%s scaled below floor", full[i].Name())
+		}
+	}
+}
