@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all test race bench golden clean
+
+all: test
+
+# Tier-1 verification: vet + build + full test suite.
+test:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Race-detector pass over everything; certifies the parallel sweep runner.
+race:
+	$(GO) test -race ./...
+
+# Per-figure and substrate benchmarks (the parallel-vs-serial sweep speedup
+# is BenchmarkSweepParallelism).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Regenerate the determinism golden files after an intentional change.
+golden:
+	$(GO) test -run Golden -update .
+
+clean:
+	$(GO) clean ./...

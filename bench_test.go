@@ -9,7 +9,9 @@ package puno
 // evaluation in miniature.
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/cache"
@@ -267,6 +269,39 @@ func BenchmarkAblationGuardBand(b *testing.B) {
 			}
 			b.ReportMetric(float64(res.Cycles), "cycles")
 			b.ReportMetric(float64(res.Aborts), "aborts")
+		})
+	}
+}
+
+// ---- parallel runner ----------------------------------------------------
+
+// BenchmarkSweepParallelism runs the same four-scheme high-contention
+// sweep serially and fanned across the worker pool. The parallel/serial
+// ns/op ratio is the experiment harness's speedup on this host (on a
+// single-core machine the two are expected to tie; output stays
+// bit-identical either way — see TestSerialParallelByteIdentical).
+func BenchmarkSweepParallelism(b *testing.B) {
+	workloads := []*Profile{
+		MustWorkload("intruder").WithTxPerCPU(6),
+		MustWorkload("kmeans").WithTxPerCPU(8),
+	}
+	schemes := Schemes()
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := RunSweepCtx(context.Background(), benchConfig(), workloads, schemes,
+					SweepOptions{Parallel: bc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(workloads)*len(schemes)), "runs/op")
 		})
 	}
 }

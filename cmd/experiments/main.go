@@ -1,20 +1,27 @@
 // Command experiments regenerates the paper's tables and figures. With no
 // flags it runs the complete evaluation (all eight workloads, all four
 // schemes) and prints every table; -exp selects one experiment, -csv emits
-// machine-readable output, and -scale shrinks or grows the workloads.
+// machine-readable output, and -scale shrinks or grows the workloads. Runs
+// fan out across -parallel workers (default GOMAXPROCS; -parallel=1 is the
+// classic serial mode), and -seeds runs the whole sweep once per seed and
+// reports mean±stddev confidence intervals for the normalized figures.
 //
 // Usage:
 //
-//	experiments                 # everything (several minutes)
-//	experiments -exp fig10      # one figure
-//	experiments -exp table3     # no simulation needed
-//	experiments -scale 0.25     # quarter-size workloads for a quick look
+//	experiments                    # everything (several minutes)
+//	experiments -exp fig10         # one figure
+//	experiments -exp table3        # no simulation needed
+//	experiments -scale 0.25        # quarter-size workloads for a quick look
+//	experiments -seeds 1,2,3,4,5   # 5-seed ensemble with confidence intervals
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -22,13 +29,46 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// parseSeeds turns a comma-separated seed list into values.
+func parseSeeds(s string) ([]uint64, error) {
+	var seeds []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", part, err)
+		}
+		seeds = append(seeds, v)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("empty seed list %q", s)
+	}
+	return seeds, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1|table2|table3|fig2|fig3|fig10|fig11|fig12|fig13|fig14|summary|all")
-		seed  = flag.Uint64("seed", 12345, "simulation seed")
-		scale = flag.Float64("scale", 1.0, "workload size multiplier")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp      = fs.String("exp", "all", "experiment: table1|table2|table3|fig2|fig3|fig10|fig11|fig12|fig13|fig14|summary|all")
+		seed     = fs.Uint64("seed", 12345, "simulation seed (single-seed mode)")
+		seedList = fs.String("seeds", "", "comma-separated seed list; more than one runs an ensemble with mean±stddev figures")
+		scale    = fs.Float64("scale", 1.0, "workload size multiplier")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := puno.DefaultConfig()
 	cfg.Seed = *seed
@@ -36,12 +76,12 @@ func main() {
 
 	// Table II and Table III need no simulation.
 	if want == "table2" {
-		printTable(puno.Table2(cfg), *csv)
-		return
+		printTable(stdout, puno.Table2(cfg), *csv)
+		return nil
 	}
 	if want == "table3" {
-		fmt.Print(puno.Table3(cfg.Nodes))
-		return
+		fmt.Fprint(stdout, puno.Table3(cfg.Nodes))
+		return nil
 	}
 
 	needsAll := want == "all" || want == "fig10" || want == "fig11" ||
@@ -50,56 +90,133 @@ func main() {
 	if !needsAll {
 		schemes = []puno.Scheme{puno.SchemeBaseline}
 	}
+	opts := puno.SweepOptions{Parallel: *parallel}
+
+	if *seedList != "" {
+		seeds, err := parseSeeds(*seedList)
+		if err != nil {
+			return err
+		}
+		if len(seeds) > 1 {
+			return runEnsemble(cfg, seeds, want, *scale, opts, stdout, stderr)
+		}
+		cfg.Seed = seeds[0]
+	}
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "running %d workloads x %d schemes (seed %d, scale %.2f)...\n",
-		len(puno.Workloads()), len(schemes), *seed, *scale)
-	sweep, err := puno.RunSweep(cfg, puno.ScaledWorkloads(*scale), schemes)
+	fmt.Fprintf(stderr, "running %d workloads x %d schemes (seed %d, scale %.2f)...\n",
+		len(puno.Workloads()), len(schemes), cfg.Seed, *scale)
+	sweep, err := puno.RunSweepCtx(context.Background(), cfg, puno.ScaledWorkloads(*scale), schemes, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "sweep done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stderr, "sweep done in %v\n", time.Since(start).Round(time.Millisecond))
 
-	show := func(name string, t *puno.Table) {
-		if want == "all" || want == name {
-			printTable(t, *csv)
-			fmt.Println()
+	show := func(name string, render func() (*puno.Table, error)) error {
+		if want != "all" && want != name {
+			return nil
+		}
+		t, err := render()
+		if err != nil {
+			return err
+		}
+		printTable(stdout, t, *csv)
+		fmt.Fprintln(stdout)
+		return nil
+	}
+	for _, fig := range []struct {
+		name   string
+		render func() (*puno.Table, error)
+	}{
+		{"table1", sweep.Table1},
+		{"fig2", sweep.Fig2},
+		{"fig10", sweep.Fig10},
+		{"fig11", sweep.Fig11},
+		{"fig12", sweep.Fig12},
+		{"fig13", sweep.Fig13},
+		{"fig14", sweep.Fig14},
+	} {
+		if err := show(fig.name, fig.render); err != nil {
+			return err
+		}
+		if fig.name == "table1" && want == "all" {
+			printTable(stdout, puno.Table2(cfg), *csv)
+			fmt.Fprintln(stdout)
+		}
+		if fig.name == "fig2" && (want == "all" || want == "fig3") {
+			f3, err := sweep.Fig3All()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, f3)
 		}
 	}
-	show("table1", sweep.Table1())
 	if want == "all" {
-		printTable(puno.Table2(cfg), *csv)
-		fmt.Println()
-	}
-	show("fig2", sweep.Fig2())
-	if want == "all" || want == "fig3" {
-		fmt.Println(sweep.Fig3All())
-	}
-	show("fig10", sweep.Fig10())
-	show("fig11", sweep.Fig11())
-	show("fig12", sweep.Fig12())
-	show("fig13", sweep.Fig13())
-	show("fig14", sweep.Fig14())
-	if want == "all" {
-		fmt.Print(puno.Table3(cfg.Nodes))
-		fmt.Println()
+		fmt.Fprint(stdout, puno.Table3(cfg.Nodes))
+		fmt.Fprintln(stdout)
 	}
 	if want == "all" || want == "summary" {
-		st := sweep.Summary()
-		fmt.Printf("== Headline summary (PUNO vs baseline; negative = reduction) ==\n")
-		fmt.Printf("high-contention: aborts %+.0f%%  traffic %+.0f%%  exec time %+.0f%%\n",
+		st, err := sweep.Summary()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "== Headline summary (PUNO vs baseline; negative = reduction) ==\n")
+		fmt.Fprintf(stdout, "high-contention: aborts %+.0f%%  traffic %+.0f%%  exec time %+.0f%%\n",
 			-100*st.AbortReductionHC, -100*st.TrafficReductionHC, -100*st.SpeedupHC)
-		fmt.Printf("all workloads:   aborts %+.0f%%  traffic %+.0f%%  exec time %+.0f%%\n",
+		fmt.Fprintf(stdout, "all workloads:   aborts %+.0f%%  traffic %+.0f%%  exec time %+.0f%%\n",
 			-100*st.AbortReductionAll, -100*st.TrafficReductionAll, -100*st.SpeedupAll)
-		fmt.Printf("(paper: high-contention aborts -61%%, traffic -32%%, exec time -12%%)\n")
+		fmt.Fprintf(stdout, "(paper: high-contention aborts -61%%, traffic -32%%, exec time -12%%)\n")
 	}
+	return nil
 }
 
-func printTable(t *puno.Table, csv bool) {
+// runEnsemble regenerates the normalized figures as mean±stddev over the
+// given seeds.
+func runEnsemble(cfg puno.Config, seeds []uint64, want string, scale float64, opts puno.SweepOptions, stdout, stderr io.Writer) error {
+	switch want {
+	case "all", "fig10", "fig11", "fig12", "fig13", "fig14":
+	default:
+		return fmt.Errorf("-seeds supports the normalized figures (fig10..fig14) or -exp all, not %q", want)
+	}
+	start := time.Now()
+	fmt.Fprintf(stderr, "running %d workloads x %d schemes x %d seeds...\n",
+		len(puno.Workloads()), len(puno.Schemes()), len(seeds))
+	ens, err := puno.RunEnsemble(context.Background(), cfg, puno.ScaledWorkloads(scale),
+		puno.Schemes(), seeds, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "ensemble done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	figs := []struct {
+		name   string
+		title  string
+		metric func(*puno.Result) float64
+	}{
+		{"fig10", "Fig. 10 — normalized transaction aborts", func(r *puno.Result) float64 { return float64(r.Aborts) }},
+		{"fig11", "Fig. 11 — normalized network traffic (router traversals)", func(r *puno.Result) float64 { return float64(r.Net.TotalTraversals()) }},
+		{"fig12", "Fig. 12 — normalized directory blocking per TxGETX service", func(r *puno.Result) float64 { return r.DirBlockingPerTxGETX() }},
+		{"fig13", "Fig. 13 — normalized execution time", func(r *puno.Result) float64 { return float64(r.Cycles) }},
+		{"fig14", "Fig. 14 — normalized G/D ratio (larger is better)", func(r *puno.Result) float64 { return r.GDRatio() }},
+	}
+	for _, f := range figs {
+		if want != "all" && want != f.name {
+			continue
+		}
+		t, err := ens.MetricTable(f.title, f.metric)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, t.String())
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+func printTable(w io.Writer, t *puno.Table, csv bool) {
 	if csv {
-		fmt.Print(t.CSV())
+		fmt.Fprint(w, t.CSV())
 		return
 	}
-	fmt.Print(t.String())
+	fmt.Fprint(w, t.String())
 }

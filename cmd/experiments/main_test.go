@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable2NeedsNoSimulation(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-exp", "table2"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "== Table II — system configuration ==\n") {
+		t.Fatalf("Table II header missing:\n%s", out.String())
+	}
+}
+
+func TestTable1SmallSweep(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-exp", "table1", "-scale", "0.05"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "Table I — benchmark abort rates (baseline)") {
+		t.Fatalf("Table I missing:\n%s", out.String())
+	}
+	for _, wl := range []string{"bayes", "intruder", "vacation"} {
+		if !strings.Contains(out.String(), wl) {
+			t.Errorf("Table I missing workload %s", wl)
+		}
+	}
+	if !strings.Contains(errb.String(), "sweep done in") {
+		t.Errorf("progress line missing from stderr: %s", errb.String())
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-exp", "table2", "-csv"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "unit,value") {
+		t.Fatalf("CSV header missing:\n%s", out.String())
+	}
+}
+
+func TestEnsembleSeeds(t *testing.T) {
+	var out, errb strings.Builder
+	err := run([]string{"-exp", "fig10", "-seeds", "1,2", "-scale", "0.03", "-parallel", "2"}, &out, &errb)
+	if err != nil {
+		t.Fatalf("ensemble run: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "mean±stddev over 2 seeds") {
+		t.Fatalf("ensemble title missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "±") || !strings.Contains(out.String(), "mean(high-cont)") {
+		t.Fatalf("ensemble cells missing:\n%s", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-seeds", "1,x"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "bad seed") {
+		t.Fatalf("bad seed list accepted: %v", err)
+	}
+	if err := run([]string{"-exp", "table1", "-seeds", "1,2", "-scale", "0.03"}, &out, &errb); err == nil {
+		t.Fatal("-seeds with a non-normalized figure should error")
+	}
+	if err := run([]string{"-bogus"}, &out, &errb); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}

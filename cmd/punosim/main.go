@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -17,6 +18,13 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stamp"
 )
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
 func schemeByName(name string) (machine.Scheme, error) {
 	for _, s := range []machine.Scheme{
@@ -31,33 +39,35 @@ func schemeByName(name string) (machine.Scheme, error) {
 	return 0, fmt.Errorf("unknown scheme %q", name)
 }
 
-func main() {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("punosim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload  = flag.String("workload", "intruder", "STAMP profile: bayes|intruder|labyrinth|yada|genome|kmeans|ssca2|vacation")
-		scheme    = flag.String("scheme", "baseline", "baseline|backoff|rmw-pred|puno|puno-unicast-only|puno-notify-only|ats|puno-push")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		txper     = flag.Int("txper", 0, "transactions per node (0 = profile default)")
-		maxCycles = flag.Uint64("maxcycles", 0, "cycle budget (0 = default)")
-		quiet     = flag.Bool("q", false, "print only the summary line")
-		traceStr  = flag.String("trace", "", "print protocol trace lines containing this substring (e.g. a line address)")
-		vmult     = flag.Int("vmult", 0, "P-Buffer validity timeout multiplier (0 = default)")
-		maxwait   = flag.Uint64("maxwait", 0, "cap on notification-guided waits (0 = default)")
-		timeline  = flag.Uint64("timeline", 0, "sample interval in cycles; prints a dynamics table (0 = off)")
+		workload  = fs.String("workload", "intruder", "STAMP profile: bayes|intruder|labyrinth|yada|genome|kmeans|ssca2|vacation")
+		scheme    = fs.String("scheme", "baseline", "baseline|backoff|rmw-pred|puno|puno-unicast-only|puno-notify-only|ats|puno-push")
+		seed      = fs.Uint64("seed", 1, "simulation seed")
+		txper     = fs.Int("txper", 0, "transactions per node (0 = profile default)")
+		maxCycles = fs.Uint64("maxcycles", 0, "cycle budget (0 = default)")
+		quiet     = fs.Bool("q", false, "print only the summary line")
+		traceStr  = fs.String("trace", "", "print protocol trace lines containing this substring (e.g. a line address)")
+		vmult     = fs.Int("vmult", 0, "P-Buffer validity timeout multiplier (0 = default)")
+		maxwait   = fs.Uint64("maxwait", 0, "cap on notification-guided waits (0 = default)")
+		timeline  = fs.Uint64("timeline", 0, "sample interval in cycles; prints a dynamics table (0 = off)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	p, err := stamp.ByName(*workload)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	if *txper > 0 {
 		p = p.WithTxPerCPU(*txper)
 	}
 	s, err := schemeByName(*scheme)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 
 	cfg := machine.DefaultConfig()
@@ -76,50 +86,49 @@ func main() {
 	if *traceStr != "" {
 		cfg.TraceFn = func(cy sim.Time, node int, ev string) {
 			if strings.Contains(ev, *traceStr) {
-				fmt.Printf("%10d n%02d %s\n", cy, node, ev)
+				fmt.Fprintf(stdout, "%10d n%02d %s\n", cy, node, ev)
 			}
 		}
 	}
 	m, err := machine.New(cfg, p)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	start := time.Now()
 	res, err := m.Run()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "run failed after %v (%d events, cycle %d): %v\n",
+		fmt.Fprintf(stderr, "run failed after %v (%d events, cycle %d): %v\n",
 			time.Since(start), m.Engine().Processed(), m.Engine().Now(), err)
-		m.DumpState(os.Stderr)
-		os.Exit(1)
+		m.DumpState(stderr)
+		return err
 	}
 	wall := time.Since(start)
 
-	fmt.Printf("%s/%s: cycles=%d commits=%d aborts=%d abort%%=%.1f false%%=%.1f traffic=%d wall=%v\n",
+	fmt.Fprintf(stdout, "%s/%s: cycles=%d commits=%d aborts=%d abort%%=%.1f false%%=%.1f traffic=%d wall=%v\n",
 		res.Workload, res.Scheme, res.Cycles, res.Commits, res.Aborts,
 		100*res.AbortRate(), 100*res.FalseAbortFraction(),
 		res.Net.TotalTraversals(), wall.Round(time.Millisecond))
 	if *quiet {
-		return
+		return nil
 	}
-	fmt.Printf("  txGETX=%d outcomes: clean=%d resolved=%d nackOnly=%d falseAbort=%d\n",
+	fmt.Fprintf(stdout, "  txGETX=%d outcomes: clean=%d resolved=%d nackOnly=%d falseAbort=%d\n",
 		res.TxGETXIssued, res.GETXOutcomes[machine.OutcomeClean],
 		res.GETXOutcomes[machine.OutcomeResolvedAborts],
 		res.GETXOutcomes[machine.OutcomeNackOnly],
 		res.GETXOutcomes[machine.OutcomeFalseAbort])
-	fmt.Printf("  abort causes: txGETX=%d txGETS=%d nonTx=%d overflow=%d unnecessary=%d\n",
+	fmt.Fprintf(stdout, "  abort causes: txGETX=%d txGETS=%d nonTx=%d overflow=%d unnecessary=%d\n",
 		res.AbortsByCause[machine.CauseTxGETX], res.AbortsByCause[machine.CauseTxGETS],
 		res.AbortsByCause[machine.CauseNonTx], res.AbortsByCause[machine.CauseOverflow],
 		res.UnnecessaryAborts())
-	fmt.Printf("  G/D=%.2f dirBusyTxGETX=%d busyNacks=%d unicasts=%d mispred=%d notified=%d retries=%d\n",
+	fmt.Fprintf(stdout, "  G/D=%.2f dirBusyTxGETX=%d busyNacks=%d unicasts=%d mispred=%d notified=%d retries=%d\n",
 		res.GDRatio(), res.DirTxGETXBusy, res.DirBusyNacks,
 		res.DirUnicasts, res.Mispredictions, res.NotifiedBackoffs, res.Retries)
-	fmt.Printf("  events=%d (%.0f ev/us)\n", m.Engine().Processed(),
+	fmt.Fprintf(stdout, "  events=%d (%.0f ev/us)\n", m.Engine().Processed(),
 		float64(m.Engine().Processed())/float64(wall.Microseconds()+1))
 	if len(res.Timeline) > 0 {
-		fmt.Printf("  %-10s %8s %8s %10s %7s\n", "cycle", "commits", "aborts", "traffic", "liveTx")
+		fmt.Fprintf(stdout, "  %-10s %8s %8s %10s %7s\n", "cycle", "commits", "aborts", "traffic", "liveTx")
 		for _, smp := range res.Timeline {
-			fmt.Printf("  %-10d %8d %8d %10d %7d\n", smp.Cycle, smp.Commits, smp.Aborts, smp.Traffic, smp.LiveTxs)
+			fmt.Fprintf(stdout, "  %-10d %8d %8d %10d %7d\n", smp.Cycle, smp.Commits, smp.Aborts, smp.Traffic, smp.LiveTxs)
 		}
 	}
 	var noT, inval, reqOld, lowc, parted, uni uint64
@@ -142,7 +151,8 @@ func main() {
 		}
 	}
 	if uni+lowc > 0 {
-		fmt.Printf("  predictor: unicasts=%d fallbacks{noTargets=%d allInvalid=%d reqOlder=%d lowConf=%d} partial=%d minConf=%.2f maxBenefit=%.2f\n",
+		fmt.Fprintf(stdout, "  predictor: unicasts=%d fallbacks{noTargets=%d allInvalid=%d reqOlder=%d lowConf=%d} partial=%d minConf=%.2f maxBenefit=%.2f\n",
 			uni, noT, inval, reqOld, lowc, parted, minConf, maxBen)
 	}
+	return nil
 }

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsSummaryLine(t *testing.T) {
+	var out, errb strings.Builder
+	err := run([]string{"-workload", "kmeans", "-txper", "2", "-q", "-seed", "7"}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "kmeans/Baseline: cycles=") {
+		t.Fatalf("summary line missing or unstable:\n%s", out.String())
+	}
+}
+
+func TestRunDetailedStats(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-workload", "kmeans", "-txper", "2", "-scheme", "puno"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"txGETX=", "abort causes:", "G/D="} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("detailed output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsUnknownWorkloadAndScheme(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-workload", "nosuch"}, &out, &errb); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if err := run([]string{"-scheme", "nosuch"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "unknown scheme") {
+		t.Fatalf("unknown scheme accepted: %v", err)
+	}
+	if err := run([]string{"-bogusflag"}, &out, &errb); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}

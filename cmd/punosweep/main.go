@@ -1,34 +1,113 @@
 // Command punosweep runs parameter sweeps around the PUNO design points:
 // the P-Buffer validity timeout, the notification guard band, mesh size,
 // and the contention-management scheme set, printing one table per sweep.
+// The sweep's runs fan out across -parallel workers (default GOMAXPROCS);
+// -parallel=1 restores the classic serial execution. Output is identical
+// either way.
 //
 //	punosweep -sweep validity -workload labyrinth
 //	punosweep -sweep guard    -workload bayes
 //	punosweep -sweep mesh     -workload intruder
-//	punosweep -sweep schemes  -workload yada
+//	punosweep -sweep schemes  -workload yada -parallel 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// sweepPoint is one labelled run of a parameter sweep.
+type sweepPoint struct {
+	label string
+	spec  puno.RunSpec
+}
+
+// points builds the labelled run list for one sweep mode.
+func points(mode string, base puno.Config, wl *puno.Profile) ([]sweepPoint, string, error) {
+	var pts []sweepPoint
+	add := func(label string, cfg puno.Config) {
+		pts = append(pts, sweepPoint{label, puno.RunSpec{Config: cfg, Workload: wl}})
+	}
+	switch mode {
+	case "validity":
+		for _, mult := range []int{1, 2, 4, 8, 16, 32, 64} {
+			cfg := base
+			cfg.Scheme = puno.SchemePUNO
+			cfg.ValidityTimeoutMult = mult
+			add(fmt.Sprintf("timeout %2dx avg-tx", mult), cfg)
+		}
+		cfg := base
+		cfg.Scheme = puno.SchemePUNO
+		cfg.DisableValidity = true
+		add("no decay", cfg)
+		return pts, fmt.Sprintf("P-Buffer validity timeout sweep on %s (scheme PUNO)", wl.Name()), nil
+
+	case "guard":
+		for _, g := range []puno.Time{1, 12, 23, 46, 92, 184, 368} {
+			cfg := base
+			cfg.Scheme = puno.SchemePUNO
+			cfg.NotifyGuardOverride = g
+			add(fmt.Sprintf("guard %3d cycles", g), cfg)
+		}
+		return pts, fmt.Sprintf("notification guard-band sweep on %s (scheme PUNO; paper: 2x avg cache-to-cache)", wl.Name()), nil
+
+	case "mesh":
+		for _, dim := range []struct{ w, h int }{{2, 2}, {4, 2}, {4, 4}, {8, 4}} {
+			for _, s := range []puno.Scheme{puno.SchemeBaseline, puno.SchemePUNO} {
+				cfg := base
+				cfg.Scheme = s
+				cfg.Mesh.Width, cfg.Mesh.Height = dim.w, dim.h
+				cfg.Nodes = dim.w * dim.h
+				add(fmt.Sprintf("%dx%d %v", dim.w, dim.h, s), cfg)
+			}
+		}
+		return pts, fmt.Sprintf("machine-size sweep on %s (baseline vs PUNO)", wl.Name()), nil
+
+	case "schemes":
+		for _, s := range []puno.Scheme{
+			puno.SchemeBaseline, puno.SchemeBackoff, puno.SchemeRMWPred,
+			puno.SchemePUNO, puno.SchemeUnicastOnly, puno.SchemeNotifyOnly, puno.SchemeATS, puno.SchemePUNOPush,
+		} {
+			cfg := base
+			cfg.Scheme = s
+			add(s.String(), cfg)
+		}
+		return pts, fmt.Sprintf("all schemes on %s", wl.Name()), nil
+
+	default:
+		return nil, "", fmt.Errorf("unknown sweep %q (validity|guard|mesh|schemes)", mode)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("punosweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		sweep    = flag.String("sweep", "schemes", "validity|guard|mesh|schemes")
-		workload = flag.String("workload", "intruder", "STAMP profile")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		txper    = flag.Int("txper", 0, "transactions per node (0 = profile default)")
+		sweep    = fs.String("sweep", "schemes", "validity|guard|mesh|schemes")
+		workload = fs.String("workload", "intruder", "STAMP profile")
+		seed     = fs.Uint64("seed", 1, "simulation seed")
+		txper    = fs.Int("txper", 0, "transactions per node (0 = profile default)")
+		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	wl, err := puno.WorkloadByName(*workload)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	if *txper > 0 {
 		wl = wl.WithTxPerCPU(*txper)
@@ -36,67 +115,24 @@ func main() {
 	base := puno.DefaultConfig()
 	base.Seed = *seed
 
-	row := func(label string, res *puno.Result) {
-		fmt.Printf("%-22s cycles=%-9d aborts=%-6d abort%%=%5.1f false%%=%4.1f unnecessary=%-5d traffic=%d\n",
-			label, res.Cycles, res.Aborts, 100*res.AbortRate(),
+	pts, title, err := points(*sweep, base, wl)
+	if err != nil {
+		return err
+	}
+	specs := make([]puno.RunSpec, len(pts))
+	for i, p := range pts {
+		specs[i] = p.spec
+	}
+	results, err := puno.RunSpecs(context.Background(), specs, puno.SweepOptions{Parallel: *parallel})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(stdout, title)
+	for i, res := range results {
+		fmt.Fprintf(stdout, "%-22s cycles=%-9d aborts=%-6d abort%%=%5.1f false%%=%4.1f unnecessary=%-5d traffic=%d\n",
+			pts[i].label, res.Cycles, res.Aborts, 100*res.AbortRate(),
 			100*res.FalseAbortFraction(), res.UnnecessaryAborts(), res.Net.TotalTraversals())
 	}
-	must := func(res *puno.Result, err error) *puno.Result {
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return res
-	}
-
-	switch *sweep {
-	case "validity":
-		fmt.Printf("P-Buffer validity timeout sweep on %s (scheme PUNO)\n", wl.Name())
-		for _, mult := range []int{1, 2, 4, 8, 16, 32, 64} {
-			cfg := base
-			cfg.Scheme = puno.SchemePUNO
-			cfg.ValidityTimeoutMult = mult
-			row(fmt.Sprintf("timeout %2dx avg-tx", mult), must(puno.Run(cfg, wl)))
-		}
-		cfg := base
-		cfg.Scheme = puno.SchemePUNO
-		cfg.DisableValidity = true
-		row("no decay", must(puno.Run(cfg, wl)))
-
-	case "guard":
-		fmt.Printf("notification guard-band sweep on %s (scheme PUNO; paper: 2x avg cache-to-cache)\n", wl.Name())
-		for _, g := range []puno.Time{1, 12, 23, 46, 92, 184, 368} {
-			cfg := base
-			cfg.Scheme = puno.SchemePUNO
-			cfg.NotifyGuardOverride = g
-			row(fmt.Sprintf("guard %3d cycles", g), must(puno.Run(cfg, wl)))
-		}
-
-	case "mesh":
-		fmt.Printf("machine-size sweep on %s (baseline vs PUNO)\n", wl.Name())
-		for _, dim := range []struct{ w, h int }{{2, 2}, {4, 2}, {4, 4}, {8, 4}} {
-			for _, s := range []puno.Scheme{puno.SchemeBaseline, puno.SchemePUNO} {
-				cfg := base
-				cfg.Scheme = s
-				cfg.Mesh.Width, cfg.Mesh.Height = dim.w, dim.h
-				cfg.Nodes = dim.w * dim.h
-				row(fmt.Sprintf("%dx%d %v", dim.w, dim.h, s), must(puno.Run(cfg, wl)))
-			}
-		}
-
-	case "schemes":
-		fmt.Printf("all schemes on %s\n", wl.Name())
-		for _, s := range []puno.Scheme{
-			puno.SchemeBaseline, puno.SchemeBackoff, puno.SchemeRMWPred,
-			puno.SchemePUNO, puno.SchemeUnicastOnly, puno.SchemeNotifyOnly, puno.SchemeATS, puno.SchemePUNOPush,
-		} {
-			cfg := base
-			cfg.Scheme = s
-			row(s.String(), must(puno.Run(cfg, wl)))
-		}
-
-	default:
-		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
-		os.Exit(2)
-	}
+	return nil
 }

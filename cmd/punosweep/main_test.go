@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemesSweepSerial(t *testing.T) {
+	var out, errb strings.Builder
+	err := run([]string{"-sweep", "schemes", "-workload", "kmeans", "-txper", "2", "-parallel", "1"}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "all schemes on kmeans\n") {
+		t.Fatalf("title line missing:\n%s", out.String())
+	}
+	for _, scheme := range []string{"Baseline", "Backoff", "RMW-Pred", "PUNO", "ATS"} {
+		if !strings.Contains(out.String(), scheme) {
+			t.Errorf("row for %s missing:\n%s", scheme, out.String())
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	args := func(par string) []string {
+		return []string{"-sweep", "schemes", "-workload", "kmeans", "-txper", "2", "-parallel", par}
+	}
+	var serial, parallel strings.Builder
+	if err := run(args("1"), &serial, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args("4"), &parallel, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("parallel sweep output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+func TestUnknownSweepModeAndWorkload(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-sweep", "nosuch"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "unknown sweep") {
+		t.Fatalf("unknown sweep mode accepted: %v", err)
+	}
+	if err := run([]string{"-workload", "nosuch"}, &out, &errb); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -17,43 +18,50 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if strings.HasPrefix(err.Error(), "usage:") {
+			os.Exit(2)
+		}
+		os.Exit(1)
 	}
-	switch os.Args[1] {
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) < 1 {
+		return usageError()
+	}
+	switch args[0] {
 	case "record":
-		record(os.Args[2:])
+		return record(args[1:], stdout, stderr)
 	case "info":
-		info(os.Args[2:])
+		return info(args[1:], stdout, stderr)
 	case "run":
-		run(os.Args[2:])
+		return replay(args[1:], stdout, stderr)
 	default:
-		usage()
+		return usageError()
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: punotrace record|info|run [flags]")
-	os.Exit(2)
+func usageError() error {
+	return fmt.Errorf("usage: punotrace record|info|run [flags]")
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
-}
-
-func record(args []string) {
-	fs := flag.NewFlagSet("record", flag.ExitOnError)
+func record(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	workload := fs.String("workload", "intruder", "STAMP profile to record")
 	out := fs.String("o", "", "output file (default <workload>.trace)")
 	seed := fs.Uint64("seed", 1, "generation seed")
 	txper := fs.Int("txper", 0, "transactions per node (0 = profile default)")
 	nodes := fs.Int("nodes", 16, "node count")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	wl, err := puno.WorkloadByName(*workload)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *txper > 0 {
 		wl = wl.WithTxPerCPU(*txper)
@@ -65,41 +73,44 @@ func record(args []string) {
 	tr := puno.RecordTrace(wl, *nodes, *seed)
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	if err := tr.Save(f); err != nil {
-		fatal(err)
+		return err
 	}
 	s := tr.Summarize()
-	fmt.Printf("recorded %s: %d nodes, %d transactions, %d ops -> %s\n",
+	fmt.Fprintf(stdout, "recorded %s: %d nodes, %d transactions, %d ops -> %s\n",
 		tr.Name(), tr.Nodes(), s.Transactions, s.Ops, path)
+	return nil
 }
 
-func loadFile(path string) *puno.Trace {
+func loadFile(path string) (*puno.Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	defer f.Close()
-	tr, err := puno.LoadTrace(f)
-	if err != nil {
-		fatal(err)
-	}
-	return tr
+	return puno.LoadTrace(f)
 }
 
-func info(args []string) {
-	fs := flag.NewFlagSet("info", flag.ExitOnError)
+func info(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	in := fs.String("i", "", "trace file")
-	fs.Parse(args)
-	if *in == "" {
-		fatal(fmt.Errorf("info: -i required"))
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	tr := loadFile(*in)
+	if *in == "" {
+		return fmt.Errorf("info: -i required")
+	}
+	tr, err := loadFile(*in)
+	if err != nil {
+		return err
+	}
 	s := tr.Summarize()
-	fmt.Printf("workload %s  high-contention=%v  nodes=%d\n", tr.Name(), tr.HighContention(), tr.Nodes())
-	fmt.Printf("transactions=%d ops=%d reads=%d writes=%d incrs=%d compute-cycles=%d\n",
+	fmt.Fprintf(stdout, "workload %s  high-contention=%v  nodes=%d\n", tr.Name(), tr.HighContention(), tr.Nodes())
+	fmt.Fprintf(stdout, "transactions=%d ops=%d reads=%d writes=%d incrs=%d compute-cycles=%d\n",
 		s.Transactions, s.Ops, s.Reads, s.Writes, s.Incrs, s.ComputeCyc)
 	var ids []int
 	for id := range s.DistinctTx {
@@ -107,20 +118,27 @@ func info(args []string) {
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
-		fmt.Printf("  static tx %d: %d dynamic instances\n", id, s.DistinctTx[id])
+		fmt.Fprintf(stdout, "  static tx %d: %d dynamic instances\n", id, s.DistinctTx[id])
 	}
+	return nil
 }
 
-func run(args []string) {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+func replay(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	in := fs.String("i", "", "trace file")
 	scheme := fs.String("scheme", "baseline", "contention-management scheme")
 	seed := fs.Uint64("seed", 1, "simulation seed (protocol jitter; the op streams come from the trace)")
-	fs.Parse(args)
-	if *in == "" {
-		fatal(fmt.Errorf("run: -i required"))
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	tr := loadFile(*in)
+	if *in == "" {
+		return fmt.Errorf("run: -i required")
+	}
+	tr, err := loadFile(*in)
+	if err != nil {
+		return err
+	}
 
 	cfg := puno.DefaultConfig()
 	cfg.Seed = *seed
@@ -135,14 +153,15 @@ func run(args []string) {
 		}
 	}
 	if !found {
-		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+		return fmt.Errorf("unknown scheme %q", *scheme)
 	}
 
 	res, err := puno.Run(cfg, tr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("%s/%v: cycles=%d commits=%d aborts=%d abort%%=%.1f false%%=%.1f traffic=%d\n",
+	fmt.Fprintf(stdout, "%s/%v: cycles=%d commits=%d aborts=%d abort%%=%.1f false%%=%.1f traffic=%d\n",
 		res.Workload, res.Scheme, res.Cycles, res.Commits, res.Aborts,
 		100*res.AbortRate(), 100*res.FalseAbortFraction(), res.Net.TotalTraversals())
+	return nil
 }

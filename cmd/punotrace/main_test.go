@@ -1,0 +1,54 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRecordInfoReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kmeans.trace")
+
+	var out, errb strings.Builder
+	if err := run([]string{"record", "-workload", "kmeans", "-txper", "2", "-o", path}, &out, &errb); err != nil {
+		t.Fatalf("record: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "recorded kmeans: 16 nodes,") {
+		t.Fatalf("record output unstable:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"info", "-i", path}, &out, &errb); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if !strings.HasPrefix(out.String(), "workload kmeans  high-contention=false  nodes=16\n") {
+		t.Fatalf("info output unstable:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"run", "-i", path, "-scheme", "puno"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.HasPrefix(out.String(), "kmeans/PUNO: cycles=") {
+		t.Fatalf("replay output unstable:\n%s", out.String())
+	}
+}
+
+func TestUsageAndMissingFlags(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run(nil, &out, &errb); err == nil || !strings.HasPrefix(err.Error(), "usage:") {
+		t.Fatalf("no-arg invocation: %v", err)
+	}
+	if err := run([]string{"nosuch"}, &out, &errb); err == nil || !strings.HasPrefix(err.Error(), "usage:") {
+		t.Fatalf("unknown subcommand: %v", err)
+	}
+	if err := run([]string{"info"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-i required") {
+		t.Fatalf("info without -i: %v", err)
+	}
+	if err := run([]string{"run"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-i required") {
+		t.Fatalf("run without -i: %v", err)
+	}
+	if err := run([]string{"run", "-i", "/nonexistent/x.trace"}, &out, &errb); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}

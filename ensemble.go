@@ -1,0 +1,176 @@
+package puno
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/report"
+)
+
+// Ensemble holds one sweep repeated over several seeds, so figures can
+// report a mean and a confidence band instead of a single sample. Each
+// (workload, scheme) cell holds one Result per seed, in Seeds order.
+type Ensemble struct {
+	Workloads []*Profile
+	Schemes   []Scheme
+	Seeds     []uint64
+	// Runs[workload name][scheme][seed index]
+	Runs map[string]map[Scheme][]*Result
+}
+
+// RunEnsemble executes the (workload, scheme, seed) run matrix, fanning all
+// runs across one worker pool per opts. base.Seed is ignored; each run's
+// seed comes from seeds. Results are deterministic regardless of
+// parallelism.
+func RunEnsemble(ctx context.Context, base Config, workloads []*Profile, schemes []Scheme, seeds []uint64, opts SweepOptions) (*Ensemble, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("puno: RunEnsemble needs at least one seed")
+	}
+	specs := make([]RunSpec, 0, len(workloads)*len(schemes)*len(seeds))
+	for _, wl := range workloads {
+		for _, sch := range schemes {
+			for _, seed := range seeds {
+				cfg := base
+				cfg.Scheme = sch
+				cfg.Seed = seed
+				specs = append(specs, RunSpec{Config: cfg, Workload: wl})
+			}
+		}
+	}
+	results, err := RunSpecs(ctx, specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	e := &Ensemble{
+		Workloads: workloads,
+		Schemes:   schemes,
+		Seeds:     seeds,
+		Runs:      make(map[string]map[Scheme][]*Result),
+	}
+	i := 0
+	for _, wl := range workloads {
+		e.Runs[wl.Name()] = make(map[Scheme][]*Result, len(schemes))
+		for _, sch := range schemes {
+			e.Runs[wl.Name()][sch] = results[i : i+len(seeds)]
+			i += len(seeds)
+		}
+	}
+	return e, nil
+}
+
+// Stat is a mean and sample standard deviation over an ensemble's seeds.
+type Stat struct {
+	Mean   float64
+	Stddev float64
+	N      int
+}
+
+// String renders the stat the way ensemble tables print cells.
+func (s Stat) String() string { return fmt.Sprintf("%.3f±%.3f", s.Mean, s.Stddev) }
+
+func statOf(vals []float64) Stat {
+	st := Stat{N: len(vals), Mean: report.Mean(vals)}
+	if len(vals) > 1 {
+		var ss float64
+		for _, v := range vals {
+			d := v - st.Mean
+			ss += d * d
+		}
+		st.Stddev = math.Sqrt(ss / float64(len(vals)-1))
+	}
+	return st
+}
+
+// Metric aggregates metric over the cell's seeds.
+func (e *Ensemble) Metric(wl string, sch Scheme, metric func(*Result) float64) (Stat, error) {
+	runs, ok := e.Runs[wl][sch]
+	if !ok {
+		return Stat{}, fmt.Errorf("ensemble has no %v results for workload %q", sch, wl)
+	}
+	vals := make([]float64, len(runs))
+	for i, r := range runs {
+		vals[i] = metric(r)
+	}
+	return statOf(vals), nil
+}
+
+// NormalizedMetric aggregates metric normalized, seed by seed, against the
+// same seed's baseline run — the ensemble version of every figure's
+// normalization. It fails with a descriptive error when SchemeBaseline was
+// not in the scheme set.
+func (e *Ensemble) NormalizedMetric(wl string, sch Scheme, metric func(*Result) float64) (Stat, error) {
+	runs, ok := e.Runs[wl][sch]
+	if !ok {
+		return Stat{}, fmt.Errorf("ensemble has no %v results for workload %q", sch, wl)
+	}
+	bases, ok := e.Runs[wl][SchemeBaseline]
+	if !ok {
+		return Stat{}, fmt.Errorf("ensemble has no %v results for workload %q (schemes run: %v): normalized metrics need the baseline in the scheme set",
+			SchemeBaseline, wl, e.Schemes)
+	}
+	vals := make([]float64, len(runs))
+	for i, r := range runs {
+		if b := metric(bases[i]); b != 0 {
+			vals[i] = metric(r) / b
+		}
+	}
+	return statOf(vals), nil
+}
+
+// MetricTable renders a normalized-metric figure with mean±stddev cells: a
+// column per scheme, a row per workload, plus high-contention and overall
+// mean rows (means of the per-workload means).
+func (e *Ensemble) MetricTable(title string, metric func(*Result) float64) (*Table, error) {
+	header := []string{"workload"}
+	for _, sch := range e.Schemes {
+		header = append(header, sch.String())
+	}
+	t := report.NewTable(fmt.Sprintf("%s (mean±stddev over %d seeds)", title, len(e.Seeds)), header...)
+	perScheme := make(map[Scheme][]float64)
+	perSchemeHC := make(map[Scheme][]float64)
+	for _, wl := range e.Workloads {
+		row := []string{wl.Name()}
+		for _, sch := range e.Schemes {
+			st, err := e.NormalizedMetric(wl.Name(), sch, metric)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, st.String())
+			perScheme[sch] = append(perScheme[sch], st.Mean)
+			if wl.HighContention() {
+				perSchemeHC[sch] = append(perSchemeHC[sch], st.Mean)
+			}
+		}
+		t.AddRow(row...)
+	}
+	hcRow := []string{"mean(high-cont)"}
+	allRow := []string{"mean(all)"}
+	for _, sch := range e.Schemes {
+		hcRow = append(hcRow, report.Cell(report.Mean(perSchemeHC[sch])))
+		allRow = append(allRow, report.Cell(report.Mean(perScheme[sch])))
+	}
+	t.AddRow(hcRow...)
+	t.AddRow(allRow...)
+	return t, nil
+}
+
+// SeedSweep extracts the single-seed Sweep view of seed index i, giving
+// access to every per-figure driver for that seed.
+func (e *Ensemble) SeedSweep(i int) (*Sweep, error) {
+	if i < 0 || i >= len(e.Seeds) {
+		return nil, fmt.Errorf("ensemble has %d seeds, no index %d", len(e.Seeds), i)
+	}
+	s := &Sweep{
+		Workloads: e.Workloads,
+		Schemes:   e.Schemes,
+		Results:   make(map[string]map[Scheme]*Result),
+	}
+	for _, wl := range e.Workloads {
+		s.Results[wl.Name()] = make(map[Scheme]*Result, len(e.Schemes))
+		for _, sch := range e.Schemes {
+			s.Results[wl.Name()][sch] = e.Runs[wl.Name()][sch][i]
+		}
+	}
+	return s, nil
+}

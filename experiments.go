@@ -1,10 +1,12 @@
 package puno
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/area"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/stamp"
 )
 
@@ -20,37 +22,97 @@ type Sweep struct {
 	Results map[string]map[Scheme]*Result
 }
 
+// SweepOptions controls how a run matrix is executed.
+type SweepOptions struct {
+	// Parallel is the number of simulations run concurrently. Zero picks
+	// GOMAXPROCS; one forces the classic serial loop. Every run owns its
+	// engine and machine, so parallel and serial execution produce
+	// bit-identical results.
+	Parallel int
+	// Progress, when non-nil, is called after each run completes with the
+	// number of finished runs and the total (possibly from a pool
+	// goroutine; calls are serialized).
+	Progress func(done, total int)
+}
+
+// RunSpec names one simulation: a fully resolved Config (scheme and seed
+// included) and the workload to run under it.
+type RunSpec struct {
+	Config   Config
+	Workload Workload
+}
+
+// RunSpecs executes the given runs, fanning them across a worker pool per
+// opts, and returns the results in spec order. Each failure is wrapped
+// with its workload, scheme, and seed, and all failures are collected (not
+// just the first). Cancelling ctx abandons not-yet-started runs.
+func RunSpecs(ctx context.Context, specs []RunSpec, opts SweepOptions) ([]*Result, error) {
+	return runner.Map(ctx, len(specs), runner.Options{Workers: opts.Parallel, Progress: opts.Progress},
+		func(_ context.Context, i int) (*Result, error) {
+			sp := specs[i]
+			res, err := Run(sp.Config, sp.Workload)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v (seed %d): %w",
+					sp.Workload.Name(), sp.Config.Scheme, sp.Config.Seed, err)
+			}
+			return res, nil
+		})
+}
+
 // RunSweep executes every workload under every scheme, starting from base
-// (whose Scheme field is overridden per run). Runs are deterministic in
-// base.Seed.
+// (whose Scheme field is overridden per run), in parallel across
+// GOMAXPROCS workers. Runs are deterministic in base.Seed regardless of
+// parallelism. Use RunSweepCtx for cancellation, progress reporting, or an
+// explicit worker count.
 func RunSweep(base Config, workloads []*Profile, schemes []Scheme) (*Sweep, error) {
+	return RunSweepCtx(context.Background(), base, workloads, schemes, SweepOptions{})
+}
+
+// RunSweepCtx is RunSweep with cancellation and execution options.
+func RunSweepCtx(ctx context.Context, base Config, workloads []*Profile, schemes []Scheme, opts SweepOptions) (*Sweep, error) {
+	specs := make([]RunSpec, 0, len(workloads)*len(schemes))
+	for _, wl := range workloads {
+		for _, sch := range schemes {
+			cfg := base
+			cfg.Scheme = sch
+			specs = append(specs, RunSpec{Config: cfg, Workload: wl})
+		}
+	}
+	results, err := RunSpecs(ctx, specs, opts)
+	if err != nil {
+		return nil, err
+	}
 	s := &Sweep{
 		Workloads: workloads,
 		Schemes:   schemes,
 		Results:   make(map[string]map[Scheme]*Result),
 	}
+	i := 0
 	for _, wl := range workloads {
-		s.Results[wl.Name()] = make(map[Scheme]*Result)
+		s.Results[wl.Name()] = make(map[Scheme]*Result, len(schemes))
 		for _, sch := range schemes {
-			cfg := base
-			cfg.Scheme = sch
-			res, err := Run(cfg, wl)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%v: %w", wl.Name(), sch, err)
-			}
-			s.Results[wl.Name()][sch] = res
+			s.Results[wl.Name()][sch] = results[i]
+			i++
 		}
 	}
 	return s, nil
 }
 
-// baseline fetches a workload's baseline result (every figure normalizes
-// against it).
-func (s *Sweep) baseline(wl string) *Result { return s.Results[wl][SchemeBaseline] }
+// Baseline fetches a workload's baseline result (every figure normalizes
+// against it). It returns a descriptive error when SchemeBaseline was not
+// part of the sweep's scheme set or the workload is unknown.
+func (s *Sweep) Baseline(wl string) (*Result, error) {
+	r, ok := s.Results[wl][SchemeBaseline]
+	if !ok || r == nil {
+		return nil, fmt.Errorf("sweep has no %v result for workload %q (schemes run: %v): figures normalize against the baseline, so include SchemeBaseline in the scheme set",
+			SchemeBaseline, wl, s.Schemes)
+	}
+	return r, nil
+}
 
 // metricTable renders one normalized-metric figure: a column per scheme,
 // a row per workload, plus high-contention and overall means.
-func (s *Sweep) metricTable(title string, metric func(*Result) float64) *Table {
+func (s *Sweep) metricTable(title string, metric func(*Result) float64) (*Table, error) {
 	header := []string{"workload"}
 	for _, sch := range s.Schemes {
 		header = append(header, sch.String())
@@ -59,7 +121,11 @@ func (s *Sweep) metricTable(title string, metric func(*Result) float64) *Table {
 	perScheme := make(map[Scheme][]float64)
 	perSchemeHC := make(map[Scheme][]float64)
 	for _, wl := range s.Workloads {
-		base := metric(s.baseline(wl.Name()))
+		b, err := s.Baseline(wl.Name())
+		if err != nil {
+			return nil, err
+		}
+		base := metric(b)
 		row := []string{wl.Name()}
 		for _, sch := range s.Schemes {
 			v := metric(s.Results[wl.Name()][sch])
@@ -83,22 +149,25 @@ func (s *Sweep) metricTable(title string, metric func(*Result) float64) *Table {
 	}
 	t.AddRow(hcRow...)
 	t.AddRow(allRow...)
-	return t
+	return t, nil
 }
 
 // Table1 reproduces Table I: per-workload baseline abort rates, paper
 // versus measured.
-func (s *Sweep) Table1() *Table {
+func (s *Sweep) Table1() (*Table, error) {
 	t := report.NewTable("Table I — benchmark abort rates (baseline)",
 		"workload", "paper abort %", "measured abort %", "commits", "aborts")
 	for _, wl := range s.Workloads {
-		r := s.baseline(wl.Name())
+		r, err := s.Baseline(wl.Name())
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(wl.Name(),
 			fmt.Sprintf("%.1f", 100*wl.PaperAbortRate),
 			fmt.Sprintf("%.1f", 100*r.AbortRate()),
 			fmt.Sprintf("%d", r.Commits), fmt.Sprintf("%d", r.Aborts))
 	}
-	return t
+	return t, nil
 }
 
 // Table2 renders the simulated system configuration (the paper's Table II).
@@ -119,11 +188,14 @@ func Table2(cfg Config) *Table {
 
 // Fig2 reproduces Fig. 2: the breakdown of transactional GETX accesses by
 // outcome under the baseline, per workload.
-func (s *Sweep) Fig2() *Table {
+func (s *Sweep) Fig2() (*Table, error) {
 	t := report.NewTable("Fig. 2 — transactional GETX outcome breakdown (baseline, % of accesses)",
 		"workload", "false-aborting", "nack-only", "resolved-aborts", "clean")
 	for _, wl := range s.Workloads {
-		r := s.baseline(wl.Name())
+		r, err := s.Baseline(wl.Name())
+		if err != nil {
+			return nil, err
+		}
 		total := float64(r.TxGETXAccesses)
 		if total == 0 {
 			total = 1
@@ -134,59 +206,70 @@ func (s *Sweep) Fig2() *Table {
 		t.AddRow(wl.Name(), pct(OutcomeFalseAbort), pct(OutcomeNackOnly),
 			pct(OutcomeResolvedAborts), pct(OutcomeClean))
 	}
-	return t
+	return t, nil
 }
 
 // Fig3 reproduces Fig. 3: the distribution of the number of transactions
 // aborted unnecessarily per false-aborting request, for one workload.
-func (s *Sweep) Fig3(workload string) string {
-	r := s.baseline(workload)
+func (s *Sweep) Fig3(workload string) (string, error) {
+	r, err := s.Baseline(workload)
+	if err != nil {
+		return "", err
+	}
 	return report.Histogram(
 		fmt.Sprintf("Fig. 3 — unnecessary aborts per false-aborting request (%s, baseline)", workload),
-		r.FalseAbortHist)
+		r.FalseAbortHist), nil
 }
 
 // Fig3All renders the Fig. 3 distribution for every workload that has
 // false-aborting events.
-func (s *Sweep) Fig3All() string {
+func (s *Sweep) Fig3All() (string, error) {
 	out := ""
 	for _, wl := range s.Workloads {
-		if len(s.baseline(wl.Name()).FalseAbortHist) > 0 {
-			out += s.Fig3(wl.Name()) + "\n"
+		r, err := s.Baseline(wl.Name())
+		if err != nil {
+			return "", err
+		}
+		if len(r.FalseAbortHist) > 0 {
+			h, err := s.Fig3(wl.Name())
+			if err != nil {
+				return "", err
+			}
+			out += h + "\n"
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fig10 reproduces Fig. 10: transaction aborts normalized to the baseline.
-func (s *Sweep) Fig10() *Table {
+func (s *Sweep) Fig10() (*Table, error) {
 	return s.metricTable("Fig. 10 — normalized transaction aborts",
 		func(r *Result) float64 { return float64(r.Aborts) })
 }
 
 // Fig11 reproduces Fig. 11: on-chip network traffic (router traversals by
 // flits) normalized to the baseline.
-func (s *Sweep) Fig11() *Table {
+func (s *Sweep) Fig11() (*Table, error) {
 	return s.metricTable("Fig. 11 — normalized network traffic (router traversals)",
 		func(r *Result) float64 { return float64(r.Net.TotalTraversals()) })
 }
 
 // Fig12 reproduces Fig. 12: the average cycles a directory entry spends
 // blocked per transactional GETX service, normalized to the baseline.
-func (s *Sweep) Fig12() *Table {
+func (s *Sweep) Fig12() (*Table, error) {
 	return s.metricTable("Fig. 12 — normalized directory blocking per TxGETX service",
 		func(r *Result) float64 { return r.DirBlockingPerTxGETX() })
 }
 
 // Fig13 reproduces Fig. 13: execution time normalized to the baseline.
-func (s *Sweep) Fig13() *Table {
+func (s *Sweep) Fig13() (*Table, error) {
 	return s.metricTable("Fig. 13 — normalized execution time",
 		func(r *Result) float64 { return float64(r.Cycles) })
 }
 
 // Fig14 reproduces Fig. 14: the good/discarded transaction cycle ratio,
 // normalized to the baseline (larger is better).
-func (s *Sweep) Fig14() *Table {
+func (s *Sweep) Fig14() (*Table, error) {
 	return s.metricTable("Fig. 14 — normalized G/D ratio (larger is better)",
 		func(r *Result) float64 { return r.GDRatio() })
 }
@@ -210,11 +293,14 @@ type SummaryStats struct {
 }
 
 // Summary computes the headline statistics for PUNO.
-func (s *Sweep) Summary() SummaryStats {
+func (s *Sweep) Summary() (SummaryStats, error) {
 	var st SummaryStats
 	var hcN, allN float64
 	for _, wl := range s.Workloads {
-		base := s.baseline(wl.Name())
+		base, err := s.Baseline(wl.Name())
+		if err != nil {
+			return SummaryStats{}, err
+		}
 		p, ok := s.Results[wl.Name()][SchemePUNO]
 		if !ok {
 			continue
@@ -243,7 +329,7 @@ func (s *Sweep) Summary() SummaryStats {
 		st.TrafficReductionAll /= allN
 		st.SpeedupAll /= allN
 	}
-	return st
+	return st, nil
 }
 
 func ratio(v, base float64) float64 {

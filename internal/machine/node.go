@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/cm"
@@ -946,8 +947,21 @@ func (n *node) fireWakeups() {
 	if len(n.wakeupSubs) == 0 {
 		return
 	}
-	for l, subs := range n.wakeupSubs {
-		for dst := range subs {
+	// Sorted iteration: map order would randomize the send order, and the
+	// NoC serializes per-cycle sends, so the whole run would stop being a
+	// deterministic function of the seed.
+	lines := make([]mem.Line, 0, len(n.wakeupSubs))
+	for l := range n.wakeupSubs {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, l := range lines {
+		dsts := make([]int, 0, len(n.wakeupSubs[l]))
+		for dst := range n.wakeupSubs[l] {
+			dsts = append(dsts, dst)
+		}
+		sort.Ints(dsts)
+		for _, dst := range dsts {
 			n.m.send(&coherence.Msg{
 				Type: coherence.MsgWakeup, Line: l, Src: n.id, Dst: dst,
 				Requester: dst,

@@ -1,0 +1,147 @@
+// Package runner provides a deterministic worker-pool executor for fanning
+// independent tasks out across goroutines. Results come back in submission
+// order regardless of completion order, every task error is collected (not
+// just the first), and a context cancels the dispatch of not-yet-started
+// tasks — the properties the experiment harness needs to parallelize sweeps
+// of independent simulation runs without giving up bit-identical output.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Options configures one Map call.
+type Options struct {
+	// Workers is the number of concurrent goroutines. Zero or negative
+	// selects runtime.GOMAXPROCS(0). One runs every task inline on the
+	// calling goroutine, in index order — the exact serial semantics.
+	Workers int
+
+	// Progress, when non-nil, is called after each task finishes with the
+	// number of completed tasks and the total. Calls are serialized, but
+	// (with more than one worker) arrive from pool goroutines, so the
+	// callback must not assume it runs on the caller's goroutine.
+	Progress func(done, total int)
+}
+
+// TaskError wraps a task failure with the index it occurred at.
+type TaskError struct {
+	Index int
+	Err   error
+}
+
+// Error implements error.
+func (e *TaskError) Error() string { return fmt.Sprintf("task %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying task error to errors.Is/As.
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// Map runs fn(ctx, i) for every i in [0, n) on a pool of opts.Workers
+// goroutines and returns the results in index order. Tasks are independent:
+// one failing does not stop the others, and every failure is returned,
+// wrapped in a *TaskError and joined in index order. Cancelling ctx stops
+// new tasks from being dispatched (already-running tasks see the
+// cancellation through their ctx argument); the returned error then
+// includes ctx's error. Result slots whose task failed or was never
+// dispatched hold the zero value of T.
+func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("runner: negative task count %d", n)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]T, n)
+	var (
+		mu       sync.Mutex
+		done     int
+		failures []*TaskError
+	)
+	finish := func(i int, res T, err error) {
+		mu.Lock()
+		results[i] = res
+		if err != nil {
+			failures = append(failures, &TaskError{Index: i, Err: err})
+		}
+		done++
+		d := done
+		mu.Unlock()
+		if opts.Progress != nil {
+			opts.Progress(d, n)
+		}
+	}
+
+	if workers <= 1 {
+		// Serial mode: run inline, in index order, on the caller's
+		// goroutine — byte-for-byte the classic serial loop.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return results, joinFailures(failures, err)
+			}
+			res, err := fn(ctx, i)
+			finish(i, res, err)
+		}
+		return results, joinFailures(failures, nil)
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				res, err := fn(ctx, i)
+				finish(i, res, err)
+			}
+		}()
+	}
+
+dispatch:
+	for i := 0; i < n; i++ {
+		// Checked eagerly: once cancelled, a send and Done may both be
+		// ready and select would pick between them at random.
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(indices)
+	wg.Wait()
+
+	return results, joinFailures(failures, ctx.Err())
+}
+
+// joinFailures merges the collected task errors (sorted by index so the
+// message is deterministic) with an optional context error.
+func joinFailures(failures []*TaskError, ctxErr error) error {
+	if len(failures) == 0 && ctxErr == nil {
+		return nil
+	}
+	sort.Slice(failures, func(i, j int) bool { return failures[i].Index < failures[j].Index })
+	errs := make([]error, 0, len(failures)+1)
+	for _, f := range failures {
+		errs = append(errs, f)
+	}
+	if ctxErr != nil {
+		errs = append(errs, ctxErr)
+	}
+	return errors.Join(errs...)
+}

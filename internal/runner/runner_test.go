@@ -1,0 +1,197 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapReturnsResultsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(context.Background(), 50, Options{Workers: workers},
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapZeroTasks(t *testing.T) {
+	got, err := Map(context.Background(), 0, Options{},
+		func(_ context.Context, i int) (int, error) { return 0, errors.New("must not run") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v; want empty, nil", got, err)
+	}
+}
+
+func TestMapCollectsEveryError(t *testing.T) {
+	bad := map[int]bool{3: true, 11: true, 17: true}
+	res, err := Map(context.Background(), 20, Options{Workers: 4},
+		func(_ context.Context, i int) (string, error) {
+			if bad[i] {
+				return "", fmt.Errorf("boom %d", i)
+			}
+			return fmt.Sprintf("ok %d", i), nil
+		})
+	if err == nil {
+		t.Fatal("expected joined error")
+	}
+	for i := range bad {
+		if !strings.Contains(err.Error(), fmt.Sprintf("boom %d", i)) {
+			t.Errorf("error missing task %d: %v", i, err)
+		}
+		if res[i] != "" {
+			t.Errorf("failed task %d has non-zero result %q", i, res[i])
+		}
+	}
+	// Successes are still delivered alongside the failures.
+	if res[0] != "ok 0" || res[19] != "ok 19" {
+		t.Errorf("successful results lost: %q %q", res[0], res[19])
+	}
+	// Errors are sorted by index, so the message is deterministic.
+	if i3 := strings.Index(err.Error(), "task 3"); i3 < 0 || i3 > strings.Index(err.Error(), "task 11") {
+		t.Errorf("errors not in index order: %v", err)
+	}
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("joined error does not expose *TaskError: %v", err)
+	}
+}
+
+func TestMapContextCancellationStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})  // blocks workers until cancel has happened
+	cancelled := make(chan struct{}) // closed by the first task, after cancel
+	var once sync.Once
+	go func() {
+		<-cancelled
+		close(release)
+	}()
+	_, err := Map(ctx, 1000, Options{Workers: 2},
+		func(ctx context.Context, i int) (int, error) {
+			started.Add(1)
+			once.Do(func() {
+				cancel()
+				close(cancelled)
+			})
+			<-release
+			return i, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// At most the tasks already handed to the 2 workers, plus one send
+	// already parked in the dispatcher's select when cancel hit, may have
+	// started; the other ~1000 must not.
+	if n := started.Load(); n > 3 {
+		t.Fatalf("%d tasks started after cancellation", n)
+	}
+}
+
+func TestMapSerialModeRespectsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	_, err := Map(ctx, 10, Options{Workers: 1},
+		func(_ context.Context, i int) (int, error) {
+			ran++
+			if i == 2 {
+				cancel()
+			}
+			return i, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d tasks, want 3 (cancel checked before each serial task)", ran)
+	}
+}
+
+func TestMapProgressSeesEveryCompletion(t *testing.T) {
+	var mu sync.Mutex
+	var dones []int
+	total := -1
+	_, err := Map(context.Background(), 25, Options{
+		Workers: 5,
+		Progress: func(done, n int) {
+			mu.Lock()
+			dones = append(dones, done)
+			total = n
+			mu.Unlock()
+		},
+	}, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 25 || len(dones) != 25 {
+		t.Fatalf("progress called %d times with total %d, want 25/25", len(dones), total)
+	}
+	seen := make(map[int]bool)
+	for _, d := range dones {
+		seen[d] = true
+	}
+	for d := 1; d <= 25; d++ {
+		if !seen[d] {
+			t.Fatalf("progress never reported done=%d", d)
+		}
+	}
+}
+
+func TestMapActuallyRunsConcurrently(t *testing.T) {
+	const workers = 4
+	var inFlight, peak atomic.Int64
+	_, err := Map(context.Background(), 16, Options{Workers: workers},
+		func(_ context.Context, i int) (int, error) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			inFlight.Add(-1)
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency %d, want >= 2", peak.Load())
+	}
+	if peak.Load() > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", peak.Load(), workers)
+	}
+}
+
+func TestMapNegativeCount(t *testing.T) {
+	if _, err := Map(context.Background(), -1, Options{},
+		func(_ context.Context, i int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("negative task count accepted")
+	}
+}
+
+func TestTaskErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	_, err := Map(context.Background(), 3, Options{Workers: 2},
+		func(_ context.Context, i int) (int, error) {
+			if i == 1 {
+				return 0, sentinel
+			}
+			return i, nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is through TaskError failed: %v", err)
+	}
+}

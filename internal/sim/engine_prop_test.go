@@ -1,0 +1,162 @@
+package sim
+
+// Property tests for the engine's ordering guarantees under Cancel: the
+// FIFO tie-break for same-cycle events is what makes whole-machine runs
+// bit-identical, and Cancel (used heavily by the notification machinery)
+// must neither reorder survivors nor resurrect popped events.
+
+import "testing"
+
+// TestEngineFIFOSurvivesInterleavedCancels fuzzes random schedules with
+// cancellations interleaved between insertions and asserts that the
+// surviving events still run in (time, insertion order).
+func TestEngineFIFOSurvivesInterleavedCancels(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := NewRNG(uint64(trial) + 1)
+		e := NewEngine()
+		const n = 120
+
+		type rec struct {
+			at        Time
+			seq       int
+			cancelled bool
+		}
+		events := make([]rec, 0, n)
+		ids := make([]EventID, 0, n)
+		var fired []int
+
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(16)) // few distinct times → many ties
+			idx := len(events)
+			events = append(events, rec{at: at, seq: idx})
+			ids = append(ids, e.At(at, func() { fired = append(fired, idx) }))
+			// Interleave: occasionally cancel a random earlier event.
+			if rng.Bool(0.3) {
+				victim := rng.Intn(len(ids))
+				if e.Cancel(ids[victim]) {
+					events[victim].cancelled = true
+				} else if !events[victim].cancelled {
+					t.Fatalf("trial %d: Cancel of pending event %d returned false", trial, victim)
+				}
+			}
+		}
+		e.Run(Infinity)
+
+		// Every survivor fired exactly once, no cancelled event fired.
+		want := make([]int, 0, n)
+		for i, ev := range events {
+			if !ev.cancelled {
+				want = append(want, i)
+			}
+		}
+		if len(fired) != len(want) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(fired), len(want))
+		}
+		for _, idx := range fired {
+			if events[idx].cancelled {
+				t.Fatalf("trial %d: cancelled event %d fired", trial, idx)
+			}
+		}
+		// Order: non-decreasing time; among equal times, insertion order.
+		for i := 1; i < len(fired); i++ {
+			prev, cur := events[fired[i-1]], events[fired[i]]
+			if cur.at < prev.at {
+				t.Fatalf("trial %d: event at %d ran after event at %d", trial, cur.at, prev.at)
+			}
+			if cur.at == prev.at && cur.seq < prev.seq {
+				t.Fatalf("trial %d: same-cycle FIFO violated: seq %d ran after %d at t=%d",
+					trial, cur.seq, prev.seq, cur.at)
+			}
+		}
+	}
+}
+
+// TestEngineCancelOfPoppedEventIsNoOp pops events by running the engine and
+// then asserts Cancel on their stale IDs returns false and disturbs
+// nothing still queued.
+func TestEngineCancelOfPoppedEventIsNoOp(t *testing.T) {
+	rng := NewRNG(7)
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		var ran []int
+		n := 5 + rng.Intn(40)
+		ids := make([]EventID, n)
+		for i := 0; i < n; i++ {
+			i := i
+			ids[i] = e.At(Time(rng.Intn(10)), func() { ran = append(ran, i) })
+		}
+		// Run the first half of the schedule.
+		for s := 0; s < n/2; s++ {
+			e.Step()
+		}
+		// Cancelling every already-run event must be a no-op...
+		for _, i := range ran {
+			if e.Cancel(ids[i]) {
+				t.Fatalf("trial %d: Cancel of popped event %d returned true", trial, i)
+			}
+		}
+		popped := len(ran)
+		// ...and must not have removed anything still pending.
+		if e.Pending() != n-popped {
+			t.Fatalf("trial %d: pending = %d after no-op cancels, want %d", trial, e.Pending(), n-popped)
+		}
+		e.Run(Infinity)
+		if len(ran) != n {
+			t.Fatalf("trial %d: %d events ran, want %d", trial, len(ran), n)
+		}
+	}
+}
+
+// TestEngineCancelSameCycleFromWithinEvent cancels a later same-cycle event
+// from inside an earlier one: the victim must not run, and the events after
+// it must keep their FIFO positions.
+func TestEngineCancelSameCycleFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	var victim EventID
+	e.At(5, func() {
+		order = append(order, 0)
+		if !e.Cancel(victim) {
+			t.Error("in-event Cancel of a pending same-cycle event returned false")
+		}
+	})
+	victim = e.At(5, func() { order = append(order, 1) })
+	e.At(5, func() { order = append(order, 2) })
+	e.At(5, func() { order = append(order, 3) })
+	e.Run(Infinity)
+	want := []int{0, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEngineDoubleCancelIdempotent: the second Cancel of the same ID is
+// always false, whether the first happened before or after the pop.
+func TestEngineDoubleCancelIdempotent(t *testing.T) {
+	rng := NewRNG(99)
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		n := 2 + rng.Intn(20)
+		ids := make([]EventID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = e.At(Time(rng.Intn(5)), func() {})
+		}
+		victim := rng.Intn(n)
+		first := e.Cancel(ids[victim])
+		if !first {
+			t.Fatalf("trial %d: first Cancel failed", trial)
+		}
+		if e.Cancel(ids[victim]) {
+			t.Fatalf("trial %d: double Cancel returned true", trial)
+		}
+		e.Run(Infinity)
+		if e.Cancel(ids[victim]) {
+			t.Fatalf("trial %d: Cancel after run returned true", trial)
+		}
+	}
+}

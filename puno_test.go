@@ -1,6 +1,7 @@
 package puno
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -31,7 +32,7 @@ func TestRunSweepAndFigures(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for name, render := range map[string]func() *Table{
+	for name, render := range map[string]func() (*Table, error){
 		"table1": sweep.Table1,
 		"fig2":   sweep.Fig2,
 		"fig10":  sweep.Fig10,
@@ -40,7 +41,11 @@ func TestRunSweepAndFigures(t *testing.T) {
 		"fig13":  sweep.Fig13,
 		"fig14":  sweep.Fig14,
 	} {
-		out := render().String()
+		tbl, err := render()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := tbl.String()
 		if !strings.Contains(out, "bayes") || !strings.Contains(out, "vacation") {
 			t.Errorf("%s missing workload rows:\n%s", name, out)
 		}
@@ -49,18 +54,46 @@ func TestRunSweepAndFigures(t *testing.T) {
 				t.Errorf("%s missing scheme columns or means:\n%s", name, out)
 			}
 		}
-		if csv := render().CSV(); !strings.Contains(csv, ",") {
+		if csv := tbl.CSV(); !strings.Contains(csv, ",") {
 			t.Errorf("%s CSV rendering broken", name)
 		}
 	}
 
-	if fig3 := sweep.Fig3All(); !strings.Contains(fig3, "Fig. 3") {
+	fig3, err := sweep.Fig3All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig3, "Fig. 3") {
 		t.Errorf("Fig3All produced no histograms:\n%s", fig3)
 	}
 
-	st := sweep.Summary()
+	st, err := sweep.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.TrafficReductionHC == 0 && st.AbortReductionHC == 0 {
 		t.Error("summary statistics all zero")
+	}
+}
+
+func TestBaselineMissingIsDescriptiveError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	wls := []*Profile{MustWorkload("kmeans").WithTxPerCPU(4)}
+	sweep, err := RunSweepCtx(context.Background(), cfg, wls, []Scheme{SchemePUNO}, SweepOptions{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sweep.Baseline("kmeans"); err == nil {
+		t.Fatal("Baseline without SchemeBaseline in the scheme set did not error")
+	} else if !strings.Contains(err.Error(), "Baseline") || !strings.Contains(err.Error(), "kmeans") {
+		t.Fatalf("baseline error not descriptive: %v", err)
+	}
+	if _, err := sweep.Fig10(); err == nil {
+		t.Fatal("Fig10 without baseline did not propagate the error")
+	}
+	if _, err := sweep.Summary(); err == nil {
+		t.Fatal("Summary without baseline did not propagate the error")
 	}
 }
 
