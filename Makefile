@@ -1,6 +1,8 @@
 GO ?= go
+BENCH ?= BenchmarkSweepParallelism
+BENCH_COUNT ?= 8
 
-.PHONY: all test race bench golden clean
+.PHONY: all test race bench bench-baseline bench-compare golden clean
 
 all: test
 
@@ -19,9 +21,30 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
+# Record the current hot-path performance as the comparison baseline.
+# Run this on the commit you want to compare against, then make your
+# change and run bench-compare.
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(BENCH_COUNT) . | tee bench_base.txt
+
+# Statistical before/after comparison of the hot-path benchmarks.
+# Uses benchstat when installed (go install golang.org/x/perf/cmd/benchstat@latest);
+# otherwise prints both raw runs side by side.
+bench-compare:
+	@test -f bench_base.txt || { echo "no bench_base.txt; run 'make bench-baseline' on the base commit first" >&2; exit 1; }
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(BENCH_COUNT) . | tee bench_new.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench_base.txt bench_new.txt; \
+	else \
+		echo "--- benchstat not installed; raw results ---"; \
+		echo "== base =="; grep '^Benchmark' bench_base.txt; \
+		echo "== new  =="; grep '^Benchmark' bench_new.txt; \
+	fi
+
 # Regenerate the determinism golden files after an intentional change.
 golden:
 	$(GO) test -run Golden -update .
 
 clean:
 	$(GO) clean ./...
+	rm -f bench_base.txt bench_new.txt

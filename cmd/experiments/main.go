@@ -21,11 +21,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -65,18 +68,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 		scale    = fs.Float64("scale", 1.0, "workload size multiplier")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// An interrupt cancels the sweep; the deferred Stop still flushes the
+	// profiles collected so far.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	profiler, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer profiler.Stop()
+	runErr := runExperiments(ctx, *exp, *seed, *seedList, *scale, *csv, *parallel, stdout, stderr)
+	if perr := profiler.Stop(); runErr == nil {
+		runErr = perr
+	}
+	return runErr
+}
+
+func runExperiments(ctx context.Context, exp string, seed uint64, seedList string, scale float64, csv bool, parallel int, stdout, stderr io.Writer) error {
 	cfg := puno.DefaultConfig()
-	cfg.Seed = *seed
-	want := strings.ToLower(*exp)
+	cfg.Seed = seed
+	want := strings.ToLower(exp)
 
 	// Table II and Table III need no simulation.
 	if want == "table2" {
-		printTable(stdout, puno.Table2(cfg), *csv)
+		printTable(stdout, puno.Table2(cfg), csv)
 		return nil
 	}
 	if want == "table3" {
@@ -90,23 +112,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if !needsAll {
 		schemes = []puno.Scheme{puno.SchemeBaseline}
 	}
-	opts := puno.SweepOptions{Parallel: *parallel}
+	opts := puno.SweepOptions{Parallel: parallel}
 
-	if *seedList != "" {
-		seeds, err := parseSeeds(*seedList)
+	if seedList != "" {
+		seeds, err := parseSeeds(seedList)
 		if err != nil {
 			return err
 		}
 		if len(seeds) > 1 {
-			return runEnsemble(cfg, seeds, want, *scale, opts, stdout, stderr)
+			return runEnsemble(ctx, cfg, seeds, want, scale, opts, stdout, stderr)
 		}
 		cfg.Seed = seeds[0]
 	}
 
 	start := time.Now()
 	fmt.Fprintf(stderr, "running %d workloads x %d schemes (seed %d, scale %.2f)...\n",
-		len(puno.Workloads()), len(schemes), cfg.Seed, *scale)
-	sweep, err := puno.RunSweepCtx(context.Background(), cfg, puno.ScaledWorkloads(*scale), schemes, opts)
+		len(puno.Workloads()), len(schemes), cfg.Seed, scale)
+	sweep, err := puno.RunSweepCtx(ctx, cfg, puno.ScaledWorkloads(scale), schemes, opts)
 	if err != nil {
 		return err
 	}
@@ -120,7 +142,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		printTable(stdout, t, *csv)
+		printTable(stdout, t, csv)
 		fmt.Fprintln(stdout)
 		return nil
 	}
@@ -140,7 +162,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		if fig.name == "table1" && want == "all" {
-			printTable(stdout, puno.Table2(cfg), *csv)
+			printTable(stdout, puno.Table2(cfg), csv)
 			fmt.Fprintln(stdout)
 		}
 		if fig.name == "fig2" && (want == "all" || want == "fig3") {
@@ -172,7 +194,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 // runEnsemble regenerates the normalized figures as mean±stddev over the
 // given seeds.
-func runEnsemble(cfg puno.Config, seeds []uint64, want string, scale float64, opts puno.SweepOptions, stdout, stderr io.Writer) error {
+func runEnsemble(ctx context.Context, cfg puno.Config, seeds []uint64, want string, scale float64, opts puno.SweepOptions, stdout, stderr io.Writer) error {
 	switch want {
 	case "all", "fig10", "fig11", "fig12", "fig13", "fig14":
 	default:
@@ -181,7 +203,7 @@ func runEnsemble(cfg puno.Config, seeds []uint64, want string, scale float64, op
 	start := time.Now()
 	fmt.Fprintf(stderr, "running %d workloads x %d schemes x %d seeds...\n",
 		len(puno.Workloads()), len(puno.Schemes()), len(seeds))
-	ens, err := puno.RunEnsemble(context.Background(), cfg, puno.ScaledWorkloads(scale),
+	ens, err := puno.RunEnsemble(ctx, cfg, puno.ScaledWorkloads(scale),
 		puno.Schemes(), seeds, opts)
 	if err != nil {
 		return err

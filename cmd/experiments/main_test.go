@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -67,5 +69,33 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}, &out, &errb); err == nil {
 		t.Fatal("bogus flag accepted")
+	}
+}
+
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb strings.Builder
+	err := run([]string{"-exp", "table2", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestProfileFlagBadPath(t *testing.T) {
+	var out, errb strings.Builder
+	err := run([]string{"-exp", "table2", "-cpuprofile", t.TempDir() + "/no/such/dir/cpu.pprof"}, &out, &errb)
+	if err == nil {
+		t.Fatal("unwritable -cpuprofile path accepted")
 	}
 }

@@ -17,8 +17,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -100,22 +103,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "simulation seed")
 		txper    = fs.Int("txper", 0, "transactions per node (0 = profile default)")
 		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	wl, err := puno.WorkloadByName(*workload)
+	// An interrupt cancels the sweep; the deferred Stop still flushes the
+	// profiles collected so far.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	profiler, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
 		return err
 	}
-	if *txper > 0 {
-		wl = wl.WithTxPerCPU(*txper)
+	defer profiler.Stop()
+	runErr := runSweep(ctx, *sweep, *workload, *seed, *txper, *parallel, stdout)
+	if perr := profiler.Stop(); runErr == nil {
+		runErr = perr
+	}
+	return runErr
+}
+
+func runSweep(ctx context.Context, sweep, workload string, seed uint64, txper, parallel int, stdout io.Writer) error {
+	wl, err := puno.WorkloadByName(workload)
+	if err != nil {
+		return err
+	}
+	if txper > 0 {
+		wl = wl.WithTxPerCPU(txper)
 	}
 	base := puno.DefaultConfig()
-	base.Seed = *seed
+	base.Seed = seed
 
-	pts, title, err := points(*sweep, base, wl)
+	pts, title, err := points(sweep, base, wl)
 	if err != nil {
 		return err
 	}
@@ -123,7 +145,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	for i, p := range pts {
 		specs[i] = p.spec
 	}
-	results, err := puno.RunSpecs(context.Background(), specs, puno.SweepOptions{Parallel: *parallel})
+	results, err := puno.RunSpecs(ctx, specs, puno.SweepOptions{Parallel: parallel})
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -45,5 +47,26 @@ func TestUnknownSweepModeAndWorkload(t *testing.T) {
 	}
 	if err := run([]string{"-workload", "nosuch"}, &out, &errb); err == nil {
 		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb strings.Builder
+	err := run([]string{"-sweep", "schemes", "-workload", "kmeans", "-txper", "1", "-parallel", "1",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
 	}
 }

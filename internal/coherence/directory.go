@@ -38,6 +38,11 @@ func (s DirState) String() string {
 type Env interface {
 	Now() sim.Time
 	Send(delay sim.Time, msg *Msg)
+	// NewMsg returns a message for the directory to fill completely and
+	// hand to Send. Implementations may recycle delivered messages through
+	// a pool, so fields are NOT zeroed; the directory overwrites every
+	// message wholesale (*msg = Msg{...}) before sending.
+	NewMsg() *Msg
 	// LineData returns the L2/memory image of l and the access latency
 	// (L2 hit latency, or the memory latency on a cold miss).
 	LineData(l mem.Line) (mem.LineData, sim.Time)
@@ -119,8 +124,10 @@ type dirEntry struct {
 	// are serviced FIFO when the entry unblocks. Without this, fixed-period
 	// retry loops can phase-lock and starve an older transaction behind a
 	// younger requester's retries — a deadlock cycle through the busy
-	// entry that NACK priority ordering alone cannot break.
-	pending []*Msg
+	// entry that NACK priority ordering alone cannot break. Messages are
+	// parked by value so the delivered *Msg can return to its pool the
+	// moment Handle returns, and the queue's capacity is reused.
+	pending []Msg
 }
 
 // Directory is the home-node coherence controller for the lines mapping to
@@ -139,7 +146,14 @@ type Directory struct {
 	QueueCap int
 
 	entries map[mem.Line]*dirEntry
-	stats   Stats
+	// freeEntries recycles dirEntry structs whose line returned to
+	// Invalid with nothing queued (clean PUTX), so long runs that sweep
+	// many lines do not grow the entry population monotonically.
+	freeEntries []*dirEntry
+	// sharerScratch backs the sharer lists the hot request paths build;
+	// callees (forward loops, the predictor) never retain the slice.
+	sharerScratch []int
+	stats         Stats
 }
 
 // NewDirectory returns the controller for home node `node` in a machine of
@@ -219,12 +233,32 @@ func (d *Directory) State(l mem.Line) (DirState, []int, int) {
 func (d *Directory) entry(l mem.Line) *dirEntry {
 	e, ok := d.entries[l]
 	if !ok {
-		e = &dirEntry{state: DirInvalid, owner: -1, unicastTo: -1}
+		if n := len(d.freeEntries); n > 0 {
+			e = d.freeEntries[n-1]
+			d.freeEntries = d.freeEntries[:n-1]
+			*e = dirEntry{state: DirInvalid, owner: -1, unicastTo: -1, pending: e.pending[:0]}
+		} else {
+			e = &dirEntry{state: DirInvalid, owner: -1, unicastTo: -1}
+		}
 		d.entries[l] = e
 	}
 	return e
 }
 
+// recycleIfIdle drops an entry that has returned to the directory's
+// default state (Invalid, not busy, nothing parked) and free-lists it for
+// the next cold line. State() on a dropped line reports DirInvalid, which
+// is exactly what the entry said.
+func (d *Directory) recycleIfIdle(l mem.Line, e *dirEntry) {
+	if e.busy || e.state != DirInvalid || len(e.pending) > 0 {
+		return
+	}
+	delete(d.entries, l)
+	d.freeEntries = append(d.freeEntries, e)
+}
+
+// sharerList builds a fresh sharer slice (diagnostic paths: State,
+// BusyEntries callers). Hot paths use sharersScratch instead.
 func (d *Directory) sharerList(mask uint64, exclude int) []int {
 	var out []int
 	for n := 0; n < d.nodes; n++ {
@@ -232,6 +266,20 @@ func (d *Directory) sharerList(mask uint64, exclude int) []int {
 			out = append(out, n)
 		}
 	}
+	return out
+}
+
+// sharersScratch builds the sharer list into the directory's reusable
+// scratch buffer. The result is only valid until the next call and must
+// not be retained by callees (the predictor copies what it needs).
+func (d *Directory) sharersScratch(mask uint64, exclude int) []int {
+	out := d.sharerScratch[:0]
+	for n := 0; n < d.nodes; n++ {
+		if n != exclude && mask&(1<<uint(n)) != 0 {
+			out = append(out, n)
+		}
+	}
+	d.sharerScratch = out
 	return out
 }
 
@@ -259,23 +307,32 @@ func (d *Directory) observe(m *Msg) {
 	}
 }
 
+// send fills a pooled message with m and hands it to the environment; the
+// literal callers build stays on the stack, so the only message object per
+// send is the recycled one.
+func (d *Directory) send(delay sim.Time, m Msg) {
+	msg := d.env.NewMsg()
+	*msg = m
+	d.env.Send(delay, msg)
+}
+
 func (d *Directory) nackBusy(m *Msg) {
 	d.stats.BusyNacks++
-	d.env.Send(d.DirLatency, &Msg{
+	d.send(d.DirLatency, Msg{
 		Type: MsgNackBusy, Line: m.Line, Src: d.node, Dst: m.Src,
 		Requester: m.Src, ReqID: m.ReqID,
 	})
 }
 
-// park queues a request on a busy entry, or NackBusy-rejects it when the
-// queue is full.
+// park queues a copy of the request on a busy entry, or NackBusy-rejects
+// it when the queue is full.
 func (d *Directory) park(e *dirEntry, m *Msg) {
 	if len(e.pending) >= d.QueueCap {
 		d.nackBusy(m)
 		return
 	}
 	d.stats.QueuedRequests++
-	e.pending = append(e.pending, m)
+	e.pending = append(e.pending, *m)
 }
 
 func (d *Directory) handleGETS(m *Msg) {
@@ -292,7 +349,7 @@ func (d *Directory) handleGETS(m *Msg) {
 		data, lat := d.env.LineData(m.Line)
 		e.state = DirShared
 		e.sharers |= 1 << uint(m.Src)
-		d.env.Send(d.DirLatency+lat, &Msg{
+		d.send(d.DirLatency+lat, Msg{
 			Type: MsgData, Line: m.Line, Src: d.node, Dst: m.Src,
 			Requester: m.Src, ReqID: m.ReqID, Data: data, HasData: true,
 		})
@@ -302,7 +359,7 @@ func (d *Directory) handleGETS(m *Msg) {
 		// writeback copy to us. Blocked until WBData + UNBLOCK.
 		d.beginBusy(e, m, false)
 		e.waitWB = true
-		d.env.Send(d.DirLatency, &Msg{
+		d.send(d.DirLatency, Msg{
 			Type: MsgFwdGETS, Line: m.Line, Src: d.node, Dst: e.owner,
 			Requester: m.Src, ReqID: m.ReqID, IsTx: m.IsTx, Prio: m.Prio,
 			IsWrite: false,
@@ -331,14 +388,14 @@ func (d *Directory) handleGETX(m *Msg) {
 	case DirInvalid:
 		d.beginBusy(e, m, true)
 		data, lat := d.env.LineData(m.Line)
-		d.env.Send(d.DirLatency+lat, &Msg{
+		d.send(d.DirLatency+lat, Msg{
 			Type: MsgData, Line: m.Line, Src: d.node, Dst: m.Src,
 			Requester: m.Src, ReqID: m.ReqID, Data: data, HasData: true,
 			AckCount: 0,
 		})
 	case DirShared:
 		d.beginBusy(e, m, true)
-		targets := d.sharerList(e.sharers, m.Src)
+		targets := d.sharersScratch(e.sharers, m.Src)
 		if len(targets) == 0 {
 			// Requester is the only sharer (upgrade) or the list was empty.
 			d.grantNoSharers(e, m)
@@ -350,7 +407,7 @@ func (d *Directory) handleGETX(m *Msg) {
 				// request. Extra DecisionLatency on the forward path.
 				d.stats.UnicastForwards++
 				e.unicastTo = dest
-				d.env.Send(d.DirLatency+d.pred.DecisionLatency(), &Msg{
+				d.send(d.DirLatency+d.pred.DecisionLatency(), Msg{
 					Type: MsgFwdGETX, Line: m.Line, Src: d.node, Dst: dest,
 					Requester: m.Src, ReqID: m.ReqID, IsTx: m.IsTx,
 					Prio: m.Prio, IsWrite: true, UBit: true,
@@ -365,7 +422,7 @@ func (d *Directory) handleGETX(m *Msg) {
 		}
 		d.stats.MulticastFwds += uint64(len(targets))
 		for _, t := range targets {
-			d.env.Send(d.DirLatency+extra, &Msg{
+			d.send(d.DirLatency+extra, Msg{
 				Type: MsgFwdGETX, Line: m.Line, Src: d.node, Dst: t,
 				Requester: m.Src, ReqID: m.ReqID, IsTx: m.IsTx, Prio: m.Prio,
 				IsWrite: true,
@@ -373,20 +430,20 @@ func (d *Directory) handleGETX(m *Msg) {
 		}
 		if m.NeedData || e.sharers&(1<<uint(m.Src)) == 0 {
 			data, lat := d.env.LineData(m.Line)
-			d.env.Send(d.DirLatency+extra+lat, &Msg{
+			d.send(d.DirLatency+extra+lat, Msg{
 				Type: MsgData, Line: m.Line, Src: d.node, Dst: m.Src,
 				Requester: m.Src, ReqID: m.ReqID, Data: data, HasData: true,
 				AckCount: len(targets),
 			})
 		} else {
-			d.env.Send(d.DirLatency+extra, &Msg{
+			d.send(d.DirLatency+extra, Msg{
 				Type: MsgAckCount, Line: m.Line, Src: d.node, Dst: m.Src,
 				Requester: m.Src, ReqID: m.ReqID, AckCount: len(targets),
 			})
 		}
 	case DirModified:
 		d.beginBusy(e, m, true)
-		d.env.Send(d.DirLatency, &Msg{
+		d.send(d.DirLatency, Msg{
 			Type: MsgFwdGETX, Line: m.Line, Src: d.node, Dst: e.owner,
 			Requester: m.Src, ReqID: m.ReqID, IsTx: m.IsTx, Prio: m.Prio,
 			IsWrite: true,
@@ -398,14 +455,14 @@ func (d *Directory) handleGETX(m *Msg) {
 func (d *Directory) grantNoSharers(e *dirEntry, m *Msg) {
 	if m.NeedData {
 		data, lat := d.env.LineData(m.Line)
-		d.env.Send(d.DirLatency+lat, &Msg{
+		d.send(d.DirLatency+lat, Msg{
 			Type: MsgData, Line: m.Line, Src: d.node, Dst: m.Src,
 			Requester: m.Src, ReqID: m.ReqID, Data: data, HasData: true,
 			AckCount: 0,
 		})
 		return
 	}
-	d.env.Send(d.DirLatency, &Msg{
+	d.send(d.DirLatency, Msg{
 		Type: MsgAckCount, Line: m.Line, Src: d.node, Dst: m.Src,
 		Requester: m.Src, ReqID: m.ReqID, AckCount: 0,
 	})
@@ -460,7 +517,7 @@ func (d *Directory) handlePUTX(m *Msg) {
 	if e.busy || e.state != DirModified || e.owner != m.Src {
 		// Raced with a forward (or is stale): the owner must keep serving
 		// the in-flight forward from its retained copy.
-		d.env.Send(d.DirLatency, &Msg{
+		d.send(d.DirLatency, Msg{
 			Type: MsgWBStale, Line: m.Line, Src: d.node, Dst: m.Src,
 		})
 		return
@@ -470,9 +527,10 @@ func (d *Directory) handlePUTX(m *Msg) {
 	e.state = DirInvalid
 	e.sharers = 0
 	e.owner = -1
-	d.env.Send(d.DirLatency, &Msg{
+	d.send(d.DirLatency, Msg{
 		Type: MsgWBAck, Line: m.Line, Src: d.node, Dst: m.Src,
 	})
+	d.recycleIfIdle(m.Line, e)
 }
 
 func (d *Directory) tryComplete(l mem.Line, e *dirEntry) {
@@ -525,12 +583,13 @@ func (d *Directory) tryComplete(l mem.Line, e *dirEntry) {
 	// Shared) do not block, so stopping after one would strand the rest.
 	for !e.busy && len(e.pending) > 0 {
 		next := e.pending[0]
-		e.pending = e.pending[1:]
+		copy(e.pending, e.pending[1:])
+		e.pending = e.pending[:len(e.pending)-1]
 		switch next.Type {
 		case MsgGETS:
-			d.handleGETS(next)
+			d.handleGETS(&next)
 		case MsgGETX:
-			d.handleGETX(next)
+			d.handleGETX(&next)
 		}
 	}
 }
@@ -539,5 +598,5 @@ func (d *Directory) updateUD(e *dirEntry, l mem.Line) {
 	if d.pred == nil {
 		return
 	}
-	d.pred.UpdateUD(l, d.sharerList(e.sharers, -1))
+	d.pred.UpdateUD(l, d.sharersScratch(e.sharers, -1))
 }

@@ -22,6 +22,7 @@ func newMockEnv() *mockEnv {
 }
 
 func (e *mockEnv) Now() sim.Time { return e.now }
+func (e *mockEnv) NewMsg() *Msg  { return &Msg{} }
 func (e *mockEnv) Send(delay sim.Time, m *Msg) {
 	e.sent = append(e.sent, m)
 	e.delays = append(e.delays, delay)

@@ -1,0 +1,73 @@
+package htm
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestLineSetMatchesMap drives the flat set and a reference map with the
+// same random add/contains/reset stream.
+func TestLineSetMatchesMap(t *testing.T) {
+	rng := sim.NewRNG(11)
+	var s lineSet
+	ref := map[mem.Line]bool{}
+	for step := 0; step < 20000; step++ {
+		l := mem.Line(rng.Intn(512) * mem.LineBytes)
+		switch rng.Intn(10) {
+		case 0:
+			s.Reset()
+			ref = map[mem.Line]bool{}
+		case 1, 2, 3, 4:
+			added := s.Add(l)
+			if added == ref[l] {
+				t.Fatalf("step %d: Add(%v) = %v with ref membership %v", step, l, added, ref[l])
+			}
+			ref[l] = true
+		default:
+			if got := s.Contains(l); got != ref[l] {
+				t.Fatalf("step %d: Contains(%v) = %v, want %v", step, l, got, ref[l])
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, s.Len(), len(ref))
+		}
+	}
+}
+
+// TestLineSetInsertionOrder pins the deterministic iteration order the
+// machine layer (and trace output) now relies on.
+func TestLineSetInsertionOrder(t *testing.T) {
+	var s lineSet
+	want := []mem.Line{0x1c0, 0x40, 0x0, 0x8000, 0x40 /* dup */, 0x200}
+	for _, l := range want {
+		s.Add(l)
+	}
+	dedup := []mem.Line{0x1c0, 0x40, 0x0, 0x8000, 0x200}
+	if len(s.lines) != len(dedup) {
+		t.Fatalf("lines = %v, want %v", s.lines, dedup)
+	}
+	for i, l := range dedup {
+		if s.lines[i] != l {
+			t.Fatalf("lines[%d] = %v, want %v", i, s.lines[i], l)
+		}
+	}
+}
+
+// TestLineSetSteadyStateAllocFree: after the first growth, repeated
+// fill/reset cycles allocate nothing — the property Begin/FinishAbort rely
+// on across transaction retries.
+func TestLineSetSteadyStateAllocFree(t *testing.T) {
+	var s lineSet
+	fill := func() {
+		for i := 0; i < 64; i++ {
+			s.Add(mem.Line(i * mem.LineBytes))
+		}
+		s.Reset()
+	}
+	fill() // warm up capacity
+	if allocs := testing.AllocsPerRun(100, fill); allocs != 0 {
+		t.Fatalf("steady-state fill/reset allocated %.1f objects, want 0", allocs)
+	}
+}

@@ -94,8 +94,11 @@ type Tx struct {
 	Prio     Priority // retained across retries of the same dynamic instance
 	Status   Status
 
-	readSet  map[mem.Line]struct{}
-	writeSet map[mem.Line]struct{}
+	// Exact conflict sets: flat, insertion-ordered, reused across attempts
+	// (Reset instead of re-make) so steady-state transactions allocate
+	// nothing — mirroring the fixed-size set structures of bounded HTMs.
+	readSet  lineSet
+	writeSet lineSet
 	undo     []LogEntry
 
 	BeginCycle   sim.Time // cycle this attempt started executing
@@ -106,12 +109,7 @@ type Tx struct {
 
 // NewTx returns an idle transaction context for a node.
 func NewTx(node int) *Tx {
-	return &Tx{
-		Node:     node,
-		Status:   StatusIdle,
-		readSet:  make(map[mem.Line]struct{}),
-		writeSet: make(map[mem.Line]struct{}),
-	}
+	return &Tx{Node: node, Status: StatusIdle}
 }
 
 // UseSignatures switches conflict tracking to Bloom-filter signatures of the
@@ -139,8 +137,8 @@ func (t *Tx) Begin(staticID int, now sim.Time, retry bool) {
 	t.Status = StatusRunning
 	t.BeginCycle = now
 	t.Attempts++
-	clear(t.readSet)
-	clear(t.writeSet)
+	t.readSet.Reset()
+	t.writeSet.Reset()
 	t.undo = t.undo[:0]
 	if t.sig != nil {
 		t.sig.Clear()
@@ -158,7 +156,7 @@ func (t *Tx) InFlight() bool { return t.Status == StatusRunning || t.Status == S
 // RecordRead adds l to the read set.
 func (t *Tx) RecordRead(l mem.Line) {
 	t.mustRun("RecordRead")
-	t.readSet[l] = struct{}{}
+	t.readSet.Add(l)
 	if t.sig != nil {
 		t.sig.InsertRead(l)
 	}
@@ -168,7 +166,7 @@ func (t *Tx) RecordRead(l mem.Line) {
 // about to be overwritten.
 func (t *Tx) RecordWrite(l mem.Line, a mem.Addr, old uint64) {
 	t.mustRun("RecordWrite")
-	t.writeSet[l] = struct{}{}
+	t.writeSet.Add(l)
 	if t.sig != nil {
 		t.sig.InsertWrite(l)
 	}
@@ -187,8 +185,7 @@ func (t *Tx) InReadSet(l mem.Line) bool {
 	if t.useSignature {
 		return t.sig.TestRead(l)
 	}
-	_, ok := t.readSet[l]
-	return ok
+	return t.readSet.Contains(l)
 }
 
 // InWriteSet reports whether l is (possibly) in the write set.
@@ -196,8 +193,7 @@ func (t *Tx) InWriteSet(l mem.Line) bool {
 	if t.useSignature {
 		return t.sig.TestWrite(l)
 	}
-	_, ok := t.writeSet[l]
-	return ok
+	return t.writeSet.Contains(l)
 }
 
 // ConflictsWith classifies an incoming request against this transaction's
@@ -215,22 +211,23 @@ func (t *Tx) ConflictsWith(l mem.Line, isWrite bool) bool {
 }
 
 // ReadSetSize returns the exact read-set line count.
-func (t *Tx) ReadSetSize() int { return len(t.readSet) }
+func (t *Tx) ReadSetSize() int { return t.readSet.Len() }
 
 // WriteSetSize returns the exact write-set line count.
-func (t *Tx) WriteSetSize() int { return len(t.writeSet) }
+func (t *Tx) WriteSetSize() int { return t.writeSet.Len() }
 
 // LogEntries returns the undo-log length in words.
 func (t *Tx) LogEntries() int { return len(t.undo) }
 
 // ForEachSetLine calls fn for every line in either set (write-set lines
-// first). Used by the machine layer to unpin cache lines at commit/abort.
+// first, each set in insertion order). Used by the machine layer to unpin
+// cache lines at commit/abort.
 func (t *Tx) ForEachSetLine(fn func(l mem.Line, write bool)) {
-	for l := range t.writeSet {
+	for _, l := range t.writeSet.lines {
 		fn(l, true)
 	}
-	for l := range t.readSet {
-		if _, alsoWrite := t.writeSet[l]; !alsoWrite {
+	for _, l := range t.readSet.lines {
+		if !t.writeSet.Contains(l) {
 			fn(l, false)
 		}
 	}
@@ -259,7 +256,8 @@ func (t *Tx) StartAbort(c Costs, overflow bool) sim.Time {
 
 // Undo returns the undo entries in reverse (newest-first) order, the order
 // they must be applied to restore pre-transaction values when a word was
-// written more than once.
+// written more than once. It allocates; the abort hot path uses UndoEntry
+// with a countdown loop instead.
 func (t *Tx) Undo() []LogEntry {
 	out := make([]LogEntry, len(t.undo))
 	for i, e := range t.undo {
@@ -268,14 +266,19 @@ func (t *Tx) Undo() []LogEntry {
 	return out
 }
 
+// UndoEntry returns the i'th undo entry in log (oldest-first) order.
+// Applying entries from LogEntries()-1 down to 0 restores pre-transaction
+// values without allocating.
+func (t *Tx) UndoEntry(i int) LogEntry { return t.undo[i] }
+
 // FinishAbort completes rollback: sets are cleared and the attempt is over.
 func (t *Tx) FinishAbort() {
 	if t.Status != StatusAborting {
 		panic(fmt.Sprintf("htm: FinishAbort while %v", t.Status))
 	}
 	t.Status = StatusAborted
-	clear(t.readSet)
-	clear(t.writeSet)
+	t.readSet.Reset()
+	t.writeSet.Reset()
 	t.undo = t.undo[:0]
 	if t.sig != nil {
 		t.sig.Clear()

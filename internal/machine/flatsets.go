@@ -1,0 +1,95 @@
+package machine
+
+import "repro/internal/mem"
+
+// lineOpSet is a tiny line -> op-index association reused across
+// transaction attempts (firstLoad, promotedLoads). Transactional footprints
+// are a handful of lines, so a linear scan over a flat pair of slices beats
+// a map and — with reset instead of re-make — allocates nothing in steady
+// state.
+type lineOpSet struct {
+	lines []mem.Line
+	ops   []int
+}
+
+func (s *lineOpSet) reset() {
+	s.lines = s.lines[:0]
+	s.ops = s.ops[:0]
+}
+
+func (s *lineOpSet) get(l mem.Line) (int, bool) {
+	for i, x := range s.lines {
+		if x == l {
+			return s.ops[i], true
+		}
+	}
+	return 0, false
+}
+
+// put sets the association, overwriting an existing entry for l.
+func (s *lineOpSet) put(l mem.Line, op int) {
+	for i, x := range s.lines {
+		if x == l {
+			s.ops[i] = op
+			return
+		}
+	}
+	s.lines = append(s.lines, l)
+	s.ops = append(s.ops, op)
+}
+
+// Wakeup-table bounds: sized like the hardware structure would be.
+const (
+	wakeupMaxLines   = 8
+	wakeupMaxWaiters = 4
+)
+
+// wakeupTable (PUNO-Push) records the requesters this node NACKed, per
+// line, so it can ping them when its transaction finishes. Lines and
+// waiters are kept sorted ascending at insert, so firing walks them in
+// exactly the order the previous map+sort implementation produced — the
+// NoC serializes per-cycle sends, so that order is part of the
+// deterministic trajectory. Overflow silently drops (the waiter's timed
+// backoff remains the fallback).
+type wakeupTable struct {
+	n       int
+	lines   [wakeupMaxLines]mem.Line
+	nw      [wakeupMaxLines]int
+	waiters [wakeupMaxLines][wakeupMaxWaiters]int
+}
+
+func (w *wakeupTable) subscribe(l mem.Line, requester int) {
+	i := 0
+	for i < w.n && w.lines[i] < l {
+		i++
+	}
+	if i == w.n || w.lines[i] != l {
+		if w.n >= wakeupMaxLines {
+			return
+		}
+		copy(w.lines[i+1:w.n+1], w.lines[i:w.n])
+		copy(w.nw[i+1:w.n+1], w.nw[i:w.n])
+		copy(w.waiters[i+1:w.n+1], w.waiters[i:w.n])
+		w.lines[i] = l
+		w.nw[i] = 0
+		w.n++
+	}
+	k := w.nw[i]
+	if k >= wakeupMaxWaiters {
+		return
+	}
+	j := 0
+	for j < k && w.waiters[i][j] < requester {
+		j++
+	}
+	if j < k && w.waiters[i][j] == requester {
+		return // already subscribed
+	}
+	copy(w.waiters[i][j+1:k+1], w.waiters[i][j:k])
+	w.waiters[i][j] = requester
+	w.nw[i] = k + 1
+}
+
+func (w *wakeupTable) empty() bool { return w.n == 0 }
+
+func (w *wakeupTable) clear() { w.n = 0 }

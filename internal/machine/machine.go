@@ -36,6 +36,39 @@ type Machine struct {
 	// Controller next-free times (occupancy queueing).
 	dirFree []sim.Time
 	l1Free  []sim.Time
+
+	// msgFree recycles coherence messages: every message is built wholesale
+	// into a pooled struct at its send site and returned to the pool by the
+	// dispatcher the moment its handler returns (handlers that need a
+	// message past that point — parked directory requests, deferred grants —
+	// copy it by value). In steady state the pool makes the protocol
+	// traffic allocation-free.
+	msgFree []*coherence.Msg
+}
+
+// newMsg pops a recycled message (fields NOT zeroed — callers overwrite
+// wholesale) or allocates the pool's next one.
+func (m *Machine) newMsg() *coherence.Msg {
+	if n := len(m.msgFree); n > 0 {
+		msg := m.msgFree[n-1]
+		m.msgFree = m.msgFree[:n-1]
+		return msg
+	}
+	return &coherence.Msg{}
+}
+
+// freeMsg returns a delivered message to the pool. The caller must not
+// retain the pointer.
+func (m *Machine) freeMsg(msg *coherence.Msg) {
+	m.msgFree = append(m.msgFree, msg)
+}
+
+// sendMsg ships a message built on the caller's stack through the pool and
+// onto the mesh.
+func (m *Machine) sendMsg(msg coherence.Msg) {
+	p := m.newMsg()
+	*p = msg
+	m.send(p)
 }
 
 // fail aborts the run with err (unrecoverable configuration or protocol
@@ -56,12 +89,14 @@ type dirEnv struct {
 
 func (e dirEnv) Now() sim.Time { return e.m.eng.Now() }
 
+func (e dirEnv) NewMsg() *coherence.Msg { return e.m.newMsg() }
+
 func (e dirEnv) Send(delay sim.Time, msg *coherence.Msg) {
 	if delay == 0 {
 		e.m.send(msg)
 		return
 	}
-	e.m.eng.After(delay, func() { e.m.send(msg) })
+	e.m.eng.AfterEvent(delay, e.m, msg, mevSend<<32)
 }
 
 func (e dirEnv) LineData(l mem.Line) (mem.LineData, sim.Time) {
@@ -200,40 +235,85 @@ func (m *Machine) send(msg *coherence.Msg) {
 	m.mesh.Send(msg.Src, msg.Dst, msg.Class(), msg.Flits(), msg)
 }
 
+// Machine event codes: the high half of the sim.Handler word selects the
+// dispatch, the low half carries the node id. Replacing per-message
+// closures with these codes keeps deferred dispatch allocation-free.
+const (
+	mevSend uint64 = iota // delayed directory send: put msg on the mesh
+	mevDir                // directory Handle after occupancy wait
+	mevFwd                // L1 handleForward after occupancy wait
+	mevResp               // L1 handleResponse after occupancy wait
+)
+
+// OnEvent implements sim.Handler for deferred message dispatch.
+func (m *Machine) OnEvent(arg any, word uint64) {
+	msg := arg.(*coherence.Msg)
+	id := int(uint32(word))
+	switch word >> 32 {
+	case mevSend:
+		m.send(msg)
+	case mevDir:
+		m.dirs[id].Handle(msg)
+		m.freeMsg(msg)
+	case mevFwd:
+		m.nodes[id].handleForward(msg)
+		m.freeMsg(msg)
+	case mevResp:
+		m.nodes[id].handleResponse(msg)
+		m.freeMsg(msg)
+	default:
+		panic(fmt.Sprintf("machine: unknown event code %d", word>>32))
+	}
+}
+
 // deliver dispatches an arriving message to the right controller at node
 // id: home-directory traffic to the directory slice, everything else to
 // the L1/core. Each controller processes one message per occupancy window;
-// later arrivals queue behind it, so message storms cost time.
+// later arrivals queue behind it, so message storms cost time. The
+// dispatcher owns the message: it returns to the pool when the handler
+// returns (synchronously or after the occupancy wait).
 func (m *Machine) deliver(id int, msg *coherence.Msg) {
 	switch msg.Type {
 	case coherence.MsgGETS, coherence.MsgGETX, coherence.MsgUnblock,
 		coherence.MsgWBData, coherence.MsgPUTX:
-		m.occupy(&m.dirFree[id], m.cfg.DirOccupancy, func() { m.dirs[id].Handle(msg) })
+		if start := m.occupyStart(&m.dirFree[id], m.cfg.DirOccupancy); start > m.eng.Now() {
+			m.eng.AtEvent(start, m, msg, mevDir<<32|uint64(uint32(id)))
+		} else {
+			m.dirs[id].Handle(msg)
+			m.freeMsg(msg)
+		}
 	case coherence.MsgFwdGETS, coherence.MsgFwdGETX:
-		m.occupy(&m.l1Free[id], m.cfg.L1Occupancy, func() { m.nodes[id].handleForward(msg) })
+		if start := m.occupyStart(&m.l1Free[id], m.cfg.L1Occupancy); start > m.eng.Now() {
+			m.eng.AtEvent(start, m, msg, mevFwd<<32|uint64(uint32(id)))
+		} else {
+			m.nodes[id].handleForward(msg)
+			m.freeMsg(msg)
+		}
 	case coherence.MsgWBAck, coherence.MsgWBStale:
 		m.nodes[id].handleWB(msg)
+		m.freeMsg(msg)
 	case coherence.MsgWakeup:
 		m.nodes[id].handleWakeup(msg)
+		m.freeMsg(msg)
 	default:
-		m.occupy(&m.l1Free[id], m.cfg.L1Occupancy, func() { m.nodes[id].handleResponse(msg) })
+		if start := m.occupyStart(&m.l1Free[id], m.cfg.L1Occupancy); start > m.eng.Now() {
+			m.eng.AtEvent(start, m, msg, mevResp<<32|uint64(uint32(id)))
+		} else {
+			m.nodes[id].handleResponse(msg)
+			m.freeMsg(msg)
+		}
 	}
 }
 
-// occupy runs fn when the controller guarded by nextFree becomes available
-// and holds it for occ cycles.
-func (m *Machine) occupy(nextFree *sim.Time, occ sim.Time, fn func()) {
-	now := m.eng.Now()
-	start := now
+// occupyStart reserves the controller guarded by nextFree and returns when
+// the reserved window begins (now, when the controller is free).
+func (m *Machine) occupyStart(nextFree *sim.Time, occ sim.Time) sim.Time {
+	start := m.eng.Now()
 	if *nextFree > start {
 		start = *nextFree
 	}
 	*nextFree = start + occ
-	if start == now {
-		fn()
-		return
-	}
-	m.eng.At(start, fn)
+	return start
 }
 
 func (m *Machine) threadDone() { m.active-- }

@@ -2,7 +2,6 @@ package machine
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/cm"
@@ -80,7 +79,11 @@ type node struct {
 	phase int    // 0 = read phase, 1 = write phase (OpIncr)
 	rdVal uint64 // value loaded by the read phase of an OpIncr
 
+	// req points at reqBuf while a request is in flight (nil otherwise);
+	// the buffer is reused across requests so issuing allocates nothing.
+	// Stale-response filtering is by ReqID, not pointer identity.
 	req           *outstanding
+	reqBuf        outstanding
 	reqSeq        uint64
 	accessRetries int // NACKs endured by the current logical access
 
@@ -95,48 +98,102 @@ type node struct {
 	accIsWrite  bool
 	accLive     bool
 
-	// firstLoad maps line -> op index of the first load this attempt;
+	// firstLoad associates line -> op index of the first load this attempt;
 	// used to train the RMW predictor when the same line is later stored.
-	firstLoad map[mem.Line]int
-	// promotedLoads maps line -> op index of loads this attempt issued as
-	// exclusive requests on the RMW predictor's advice; used to anti-train
-	// the predictor at commit when no store followed.
-	promotedLoads map[mem.Line]int
+	firstLoad lineOpSet
+	// promotedLoads associates line -> op index of loads this attempt
+	// issued as exclusive requests on the RMW predictor's advice; used to
+	// anti-train the predictor at commit when no store followed.
+	promotedLoads lineOpSet
 
 	// wbWait holds Modified victims between PUTX and WBAck; the retained
 	// copy services forwards that raced with the writeback.
 	wbWait map[mem.Line]mem.LineData
 
-	// wakeupSubs (PUNO-Push) records the requesters this node NACKed, per
-	// line, so it can ping them when its transaction finishes. Bounded as
-	// hardware would be; overflow silently drops (the waiter's timed
-	// backoff remains the fallback).
-	wakeupSubs map[mem.Line]map[int]struct{}
+	// wakeupSubs (PUNO-Push) records the requesters to ping when this
+	// node's transaction finishes.
+	wakeupSubs wakeupTable
 
 	pending      sim.EventID // cancellable compute/backoff event
 	gateBypassed bool        // inside a BeginGater callback (avoid re-gating)
 	doneAt       sim.Time
 	ovfStreak    int // consecutive overflow aborts of the current instance
+
+	// Continuation stash for closure-free event dispatch: the parameters of
+	// the single in-flight cancellable op event (pendEntry/pendAddr/pendVal)
+	// and the copied forward a deferred post-abort grant answers. At most
+	// one user of each is in flight at a time.
+	pendEntry *cache.Entry
+	pendAddr  mem.Addr
+	pendVal   uint64
+	grantMsg  coherence.Msg
 }
 
 func newNode(id int, m *Machine, prog Program, mgr cm.Manager) *node {
 	return &node{
-		id:            id,
-		m:             m,
-		l1:            cache.New(m.cfg.L1),
-		tx:            htm.NewTx(id),
-		cmgr:          mgr,
-		txlb:          core.NewTxLB(m.cfg.TxLBEntries),
-		rng:           m.rootRNG.Fork(uint64(id) + 1),
-		prog:          prog,
-		firstLoad:     make(map[mem.Line]int),
-		promotedLoads: make(map[mem.Line]int),
-		wbWait:        make(map[mem.Line]mem.LineData),
-		wakeupSubs:    make(map[mem.Line]map[int]struct{}),
+		id:     id,
+		m:      m,
+		l1:     cache.New(m.cfg.L1),
+		tx:     htm.NewTx(id),
+		cmgr:   mgr,
+		txlb:   core.NewTxLB(m.cfg.TxLBEntries),
+		rng:    m.rootRNG.Fork(uint64(id) + 1),
+		prog:   prog,
+		wbWait: make(map[mem.Line]mem.LineData),
 	}
 }
 
-func (n *node) after(d sim.Time, fn func()) { n.m.eng.After(d, fn) }
+// Node event codes for closure-free continuation dispatch (sim.Handler).
+const (
+	nevExecOp       uint64 = iota // cancellable: begin-cost elapsed, run the op
+	nevOpDone                     // cancellable: compute op finished
+	nevReadPhase                  // cancellable: L1 hit latency elapsed (load)
+	nevWriteDone                  // cancellable: L1 hit latency elapsed (store)
+	nevReissue                    // cancellable: backoff expired, retry access
+	nevFetchNext                  // think time / stagger elapsed
+	nevFinishAbort                // rollback latency elapsed
+	nevCommitDone                 // commit cost elapsed
+	nevRestartBegin               // restart wait elapsed
+	nevGrantAborted               // post-abort grant of the stashed forward
+)
+
+// OnEvent implements sim.Handler: the word selects the continuation.
+// Cancellable continuations clear n.pending first, mirroring the old
+// closure wrapper.
+func (n *node) OnEvent(_ any, word uint64) {
+	switch word {
+	case nevExecOp:
+		n.pending = sim.EventID{}
+		n.execOp()
+	case nevOpDone:
+		n.pending = sim.EventID{}
+		n.opDone()
+	case nevReadPhase:
+		n.pending = sim.EventID{}
+		n.readPhaseDone(n.pendEntry, n.pendAddr)
+	case nevWriteDone:
+		n.pending = sim.EventID{}
+		n.writeDone(n.pendEntry, n.pendAddr, n.pendVal)
+	case nevReissue:
+		n.pending = sim.EventID{}
+		n.reissue()
+	case nevFetchNext:
+		n.fetchNext()
+	case nevFinishAbort:
+		n.finishAbort()
+	case nevCommitDone:
+		n.commitDone()
+	case nevRestartBegin:
+		n.beginAttempt(true)
+	case nevGrantAborted:
+		g := n.grantMsg
+		n.grant(&g, true)
+	default:
+		panic(fmt.Sprintf("machine: node %d unknown event code %d", n.id, word))
+	}
+}
+
+func (n *node) afterEv(d sim.Time, code uint64) { n.m.eng.AfterEvent(d, n, nil, code) }
 
 // trace emits a debug event when tracing is enabled.
 func (n *node) trace(format string, args ...any) {
@@ -145,13 +202,10 @@ func (n *node) trace(format string, args ...any) {
 	}
 }
 
-// afterCancellable schedules fn and remembers the event so an abort can
-// cancel it.
-func (n *node) afterCancellable(d sim.Time, fn func()) {
-	n.pending = n.m.eng.After(d, func() {
-		n.pending = sim.EventID{}
-		fn()
-	})
+// afterCancellableEv schedules a continuation and remembers the event so
+// an abort can cancel it.
+func (n *node) afterCancellableEv(d sim.Time, code uint64) {
+	n.pending = n.m.eng.AfterEvent(d, n, nil, code)
 }
 
 func (n *node) cancelPending() {
@@ -165,7 +219,7 @@ func (n *node) cancelPending() {
 
 // start begins the thread with a small per-node stagger.
 func (n *node) start() {
-	n.after(sim.Time(n.id)+1, n.fetchNext)
+	n.afterEv(sim.Time(n.id)+1, nevFetchNext)
 }
 
 func (n *node) fetchNext() {
@@ -201,9 +255,9 @@ func (n *node) beginAttempt(retry bool) {
 	n.opIdx = 0
 	n.phase = 0
 	n.accessRetries = 0
-	clear(n.firstLoad)
-	clear(n.promotedLoads)
-	n.afterCancellable(n.m.cfg.Costs.BeginCycles, n.execOp)
+	n.firstLoad.reset()
+	n.promotedLoads.reset()
+	n.afterCancellableEv(n.m.cfg.Costs.BeginCycles, nevExecOp)
 }
 
 // execOp dispatches the current operation (or commits when done).
@@ -218,7 +272,7 @@ func (n *node) execOp() {
 	op := n.cur.Ops[n.opIdx]
 	switch op.Kind {
 	case OpCompute:
-		n.afterCancellable(op.Cycles, n.opDone)
+		n.afterCancellableEv(op.Cycles, nevOpDone)
 	case OpRead:
 		n.accessRead(op.Addr)
 	case OpWrite:
@@ -277,8 +331,8 @@ func (n *node) readPhaseDone(e *cache.Entry, a mem.Addr) {
 	n.tx.RecordRead(l)
 	n.trace("read %v = %d (state %v)", l, e.Data[mem.WordIndex(a)], e.State)
 	e.Pinned = true
-	if _, seen := n.firstLoad[l]; !seen {
-		n.firstLoad[l] = n.opIdx
+	if _, seen := n.firstLoad.get(l); !seen {
+		n.firstLoad.put(l, n.opIdx)
 	}
 	n.rdVal = e.Data[mem.WordIndex(a)]
 	if n.cur.Ops[n.opIdx].Kind == OpIncr {
@@ -305,7 +359,7 @@ func (n *node) writeDone(e *cache.Entry, a mem.Addr, v uint64) {
 	e.Pinned = true
 	e.State = cache.Modified
 	e.Data[mem.WordIndex(a)] = v
-	if loadIdx, ok := n.firstLoad[l]; ok {
+	if loadIdx, ok := n.firstLoad.get(l); ok {
 		n.cmgr.ObserveRMW(n.cur.StaticID, loadIdx)
 	}
 	n.opDone()
@@ -316,7 +370,7 @@ func (n *node) accessRead(a mem.Addr) {
 	promoted := n.cmgr.PromoteLoad(n.cur.StaticID, n.opIdx)
 	e := n.l1.Access(l)
 	if promoted {
-		n.promotedLoads[l] = n.opIdx
+		n.promotedLoads.put(l, n.opIdx)
 	}
 	if e != nil {
 		if promoted && e.State == cache.Shared {
@@ -324,7 +378,8 @@ func (n *node) accessRead(a mem.Addr) {
 			n.issue(l, true, true, false)
 			return
 		}
-		n.afterCancellable(n.m.cfg.L1HitLatency, func() { n.readPhaseDone(e, a) })
+		n.pendEntry, n.pendAddr = e, a
+		n.afterCancellableEv(n.m.cfg.L1HitLatency, nevReadPhase)
 		return
 	}
 	if promoted {
@@ -338,7 +393,8 @@ func (n *node) accessWrite(a mem.Addr, v uint64) {
 	l := mem.LineOf(a)
 	e := n.l1.Access(l)
 	if e != nil && (e.State == cache.Modified || e.State == cache.Exclusive) {
-		n.afterCancellable(n.m.cfg.L1HitLatency, func() { n.writeDone(e, a, v) })
+		n.pendEntry, n.pendAddr, n.pendVal = e, a, v
+		n.afterCancellableEv(n.m.cfg.L1HitLatency, nevWriteDone)
 		return
 	}
 	if e != nil && e.State == cache.Shared {
@@ -352,10 +408,11 @@ func (n *node) accessWrite(a mem.Addr, v uint64) {
 func (n *node) issue(l mem.Line, isWrite, promoted, needData bool) {
 	n.reqSeq++
 	home := n.m.home.Home(l)
-	n.req = &outstanding{
+	n.reqBuf = outstanding{
 		id: n.reqSeq, line: l, isWrite: isWrite, promoted: promoted,
 		isTx: true, home: home, expected: -1,
 	}
+	n.req = &n.reqBuf
 	n.state = nsWaiting
 	mt := coherence.MsgGETS
 	if isWrite {
@@ -364,7 +421,7 @@ func (n *node) issue(l mem.Line, isWrite, promoted, needData bool) {
 			n.m.res.TxGETXIssued++
 		}
 	}
-	n.m.send(&coherence.Msg{
+	n.m.sendMsg(coherence.Msg{
 		Type: mt, Line: l, Src: n.id, Dst: home, Requester: n.id,
 		ReqID: n.reqSeq, IsTx: true, Prio: n.tx.Prio, IsWrite: isWrite,
 		NeedData: needData, AvgTxLen: n.txlb.GlobalAverage(),
@@ -378,9 +435,9 @@ func (n *node) commit() {
 		g.NotifyOutcome(false)
 	}
 	// Anti-train the RMW predictor for promoted loads that never stored.
-	for l, opIdx := range n.promotedLoads {
+	for i, l := range n.promotedLoads.lines {
 		if !n.tx.InWriteSet(l) {
-			n.cmgr.ObserveNonRMW(n.cur.StaticID, opIdx)
+			n.cmgr.ObserveNonRMW(n.cur.StaticID, n.promotedLoads.ops[i])
 		}
 	}
 	if n.m.cfg.TraceFn != nil {
@@ -393,18 +450,21 @@ func (n *node) commit() {
 		n.trace("commit static=%d prio=%d writes:%s", n.cur.StaticID, n.tx.Prio, ws)
 	}
 	cost := n.tx.Commit(n.m.cfg.Costs)
-	n.after(cost, func() {
-		now := n.m.eng.Now()
-		dynLen := now - n.tx.BeginCycle
-		n.txlb.Update(n.cur.StaticID, dynLen)
-		n.unpinSets()
-		n.m.res.Commits++
-		n.m.res.PerNodeCommits[n.id]++
-		n.m.res.GoodCycles += uint64(dynLen)
-		n.m.noteCommit(n, n.cur)
-		n.state = nsIdle
-		n.after(n.cur.ThinkCycles+1, n.fetchNext)
-	})
+	n.afterEv(cost, nevCommitDone)
+}
+
+// commitDone finishes a commit after its cost has elapsed.
+func (n *node) commitDone() {
+	now := n.m.eng.Now()
+	dynLen := now - n.tx.BeginCycle
+	n.txlb.Update(n.cur.StaticID, dynLen)
+	n.unpinSets()
+	n.m.res.Commits++
+	n.m.res.PerNodeCommits[n.id]++
+	n.m.res.GoodCycles += uint64(dynLen)
+	n.m.noteCommit(n, n.cur)
+	n.state = nsIdle
+	n.afterEv(n.cur.ThinkCycles+1, nevFetchNext)
 }
 
 func (n *node) unpinSets() {
@@ -437,8 +497,10 @@ func (n *node) abortTx(cause AbortCause, overflow bool) sim.Time {
 	}
 
 	// Restore pre-transaction values into the cached lines immediately
-	// (the latency models when the restoration completes).
-	for _, entry := range n.tx.Undo() {
+	// (the latency models when the restoration completes). Newest-first, so
+	// multiply-written words end at their pre-transaction value.
+	for i := n.tx.LogEntries() - 1; i >= 0; i-- {
+		entry := n.tx.UndoEntry(i)
 		l := mem.LineOf(entry.Addr)
 		if e := n.l1.Lookup(l); e != nil {
 			e.Data[mem.WordIndex(entry.Addr)] = entry.Old
@@ -446,7 +508,7 @@ func (n *node) abortTx(cause AbortCause, overflow bool) sim.Time {
 	}
 	lat := n.tx.StartAbort(n.m.cfg.Costs, overflow)
 	n.state = nsAborting
-	n.after(lat, n.finishAbort)
+	n.afterEv(lat, nevFinishAbort)
 	return lat
 }
 
@@ -468,7 +530,7 @@ func (n *node) scheduleRestart() {
 	n.state = nsRestartWait
 	delay := n.cmgr.RestartDelay(n.rng, n.tx.Attempts)
 	n.m.res.RestartWaitCycle += uint64(delay)
-	n.after(delay, func() { n.beginAttempt(true) })
+	n.afterEv(delay, nevRestartBegin)
 }
 
 // ---- request-response collection ---------------------------------------
@@ -491,7 +553,7 @@ func (n *node) handleResponse(m *coherence.Msg) {
 			delay += sim.Time(n.rng.Uint64n(uint64(j)))
 		}
 		n.state = nsBackoff
-		n.afterCancellable(delay, n.reissue)
+		n.afterCancellableEv(delay, nevReissue)
 		return
 	case coherence.MsgData:
 		if m.Sole {
@@ -579,7 +641,7 @@ func (n *node) completeRequest() {
 		n.m.res.Retries++
 		n.m.res.BackoffCycles += uint64(delay)
 		n.state = nsBackoff
-		n.afterCancellable(delay, n.reissue)
+		n.afterCancellableEv(delay, nevReissue)
 		return
 	}
 
@@ -595,7 +657,7 @@ func (n *node) completeRequest() {
 			return
 		}
 		n.state = nsBackoff
-		n.afterCancellable(n.m.cfg.BusyRetryDelay, n.reissue)
+		n.afterCancellableEv(n.m.cfg.BusyRetryDelay, nevReissue)
 		return
 	}
 
@@ -623,7 +685,7 @@ func (n *node) completeRequest() {
 		n.sendUnblock(r, false)
 		n.m.res.Retries++
 		n.state = nsBackoff
-		n.afterCancellable(n.m.cfg.BusyRetryDelay, n.reissue)
+		n.afterCancellableEv(n.m.cfg.BusyRetryDelay, nevReissue)
 		return
 	}
 	if e == nil {
@@ -712,7 +774,7 @@ func (n *node) sendUnblock(r *outstanding, success bool) {
 	if !r.isWrite && !r.dataFromOwner && r.sawNack && !r.soleDone {
 		return // defensive: a GETS can only be NACKed by a sole owner
 	}
-	msg := &coherence.Msg{
+	msg := coherence.Msg{
 		Type: coherence.MsgUnblock, Line: r.line, Src: n.id, Dst: r.home,
 		Requester: n.id, ReqID: r.id, Success: success,
 		AbortedSharers: r.abortedSharers,
@@ -722,7 +784,7 @@ func (n *node) sendUnblock(r *outstanding, success bool) {
 		msg.MPNode = r.mpNode
 		msg.Prio = r.mpPrio
 	}
-	n.m.send(msg)
+	n.m.sendMsg(msg)
 }
 
 // handleEviction processes a victim displaced from the L1.
@@ -735,7 +797,7 @@ func (n *node) handleEviction(v cache.Entry) {
 	}
 	// Retain the data until the directory acknowledges the writeback.
 	n.wbWait[v.Line] = v.Data
-	n.m.send(&coherence.Msg{
+	n.m.sendMsg(coherence.Msg{
 		Type: coherence.MsgPUTX, Line: v.Line, Src: n.id,
 		Dst: n.m.home.Home(v.Line), Requester: n.id,
 		Data: v.Data, HasData: true,
@@ -773,7 +835,11 @@ func (n *node) handleForward(f *coherence.Msg) {
 			cause = CauseNonTx
 		}
 		lat := n.abortTx(cause, false)
-		n.after(lat, func() { n.grant(f, true) })
+		// The dispatcher recycles f when we return; stash a copy for the
+		// deferred grant. Only this path defers, and abortTx cannot run
+		// again before the grant fires, so one stash slot suffices.
+		n.grantMsg = *f
+		n.afterEv(lat, nevGrantAborted)
 		return
 	}
 	if n.tx.Status == htm.StatusAborting && n.tx.InWriteSet(l) {
@@ -820,7 +886,7 @@ func (n *node) nack(f *coherence.Msg, tEst sim.Time, mp bool, conflicting bool) 
 	if conflicting && n.tx.InFlight() {
 		prio = n.tx.Prio
 	}
-	n.m.send(&coherence.Msg{
+	n.m.sendMsg(coherence.Msg{
 		Type: coherence.MsgNack, Line: f.Line, Src: n.id, Dst: f.Requester,
 		Requester: f.Requester, ReqID: f.ReqID, Prio: prio,
 		TEst: tEst, MPBit: mp, UBit: f.UBit, Sole: f.UBit || n.isOwnerResponse(f.Line),
@@ -858,7 +924,7 @@ func (n *node) grant(f *coherence.Msg, aborted bool) {
 		if !f.IsWrite {
 			// A read downgrade blocks the directory until the writeback
 			// copy arrives; send it even though our cached line is gone.
-			n.m.send(&coherence.Msg{
+			n.m.sendMsg(coherence.Msg{
 				Type: coherence.MsgWBData, Line: l, Src: n.id, Dst: n.m.home.Home(l),
 				Data: data, HasData: true,
 			})
@@ -875,7 +941,7 @@ func (n *node) grant(f *coherence.Msg, aborted bool) {
 			panic(fmt.Sprintf("machine: node %d got FwdGETS for %v but holds no copy", n.id, l))
 		}
 		// Silently evicted shared line: acknowledge the invalidation.
-		n.m.send(&coherence.Msg{
+		n.m.sendMsg(coherence.Msg{
 			Type: coherence.MsgAck, Line: l, Src: n.id, Dst: f.Requester,
 			Requester: f.Requester, ReqID: f.ReqID, AbortedSharer: aborted,
 		})
@@ -888,7 +954,7 @@ func (n *node) grant(f *coherence.Msg, aborted bool) {
 		if isOwner {
 			n.sendOwnerData(f, data, aborted)
 		} else {
-			n.m.send(&coherence.Msg{
+			n.m.sendMsg(coherence.Msg{
 				Type: coherence.MsgAck, Line: l, Src: n.id, Dst: f.Requester,
 				Requester: f.Requester, ReqID: f.ReqID, AbortedSharer: aborted,
 			})
@@ -902,14 +968,14 @@ func (n *node) grant(f *coherence.Msg, aborted bool) {
 	}
 	e.State = cache.Shared
 	n.sendOwnerData(f, e.Data, aborted)
-	n.m.send(&coherence.Msg{
+	n.m.sendMsg(coherence.Msg{
 		Type: coherence.MsgWBData, Line: l, Src: n.id, Dst: n.m.home.Home(l),
 		Data: e.Data, HasData: true,
 	})
 }
 
 func (n *node) sendOwnerData(f *coherence.Msg, data mem.LineData, aborted bool) {
-	n.m.send(&coherence.Msg{
+	n.m.sendMsg(coherence.Msg{
 		Type: coherence.MsgData, Line: f.Line, Src: n.id, Dst: f.Requester,
 		Requester: f.Requester, ReqID: f.ReqID, Data: data, HasData: true,
 		Sole: true, AbortedSharer: aborted,
@@ -923,18 +989,7 @@ func (n *node) subscribeWakeup(l mem.Line, requester int) {
 	if n.m.cfg.Scheme != SchemePUNOPush {
 		return
 	}
-	subs, ok := n.wakeupSubs[l]
-	if !ok {
-		if len(n.wakeupSubs) >= 8 {
-			return
-		}
-		subs = make(map[int]struct{}, 4)
-		n.wakeupSubs[l] = subs
-	}
-	if len(subs) >= 4 {
-		return
-	}
-	subs[requester] = struct{}{}
+	n.wakeupSubs.subscribe(l, requester)
 }
 
 // fireWakeups (PUNO-Push) pings every recorded waiter: this node's
@@ -942,33 +997,24 @@ func (n *node) subscribeWakeup(l mem.Line, requester int) {
 // stand and the waiters should retry immediately instead of sleeping out
 // their estimates. This implements the paper's future-work item of
 // "performing coherence actions speculatively to accelerate
-// inter-transaction communication".
+// inter-transaction communication". The table keeps lines and waiters
+// sorted ascending, so this walk reproduces the send order the NoC's
+// per-cycle serialization makes part of the deterministic trajectory.
 func (n *node) fireWakeups() {
-	if len(n.wakeupSubs) == 0 {
+	if n.wakeupSubs.empty() {
 		return
 	}
-	// Sorted iteration: map order would randomize the send order, and the
-	// NoC serializes per-cycle sends, so the whole run would stop being a
-	// deterministic function of the seed.
-	lines := make([]mem.Line, 0, len(n.wakeupSubs))
-	for l := range n.wakeupSubs {
-		lines = append(lines, l)
-	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-	for _, l := range lines {
-		dsts := make([]int, 0, len(n.wakeupSubs[l]))
-		for dst := range n.wakeupSubs[l] {
-			dsts = append(dsts, dst)
-		}
-		sort.Ints(dsts)
-		for _, dst := range dsts {
-			n.m.send(&coherence.Msg{
+	for i := 0; i < n.wakeupSubs.n; i++ {
+		l := n.wakeupSubs.lines[i]
+		for j := 0; j < n.wakeupSubs.nw[i]; j++ {
+			dst := n.wakeupSubs.waiters[i][j]
+			n.m.sendMsg(coherence.Msg{
 				Type: coherence.MsgWakeup, Line: l, Src: n.id, Dst: dst,
 				Requester: dst,
 			})
 		}
-		delete(n.wakeupSubs, l)
 	}
+	n.wakeupSubs.clear()
 }
 
 // handleWakeup retries the current access immediately when a wakeup names

@@ -90,7 +90,9 @@ func (s Stats) TotalMessages() uint64 {
 
 // Mesh is the interconnect instance. It is wired to a sim.Engine at
 // construction; Send computes the delivery time of a message and schedules
-// the destination handler.
+// the destination handler. Delivery is closure-free: the mesh itself is the
+// sim.Handler for its in-flight messages, carrying the destination node in
+// the event's payload word, so a Send performs no heap allocation.
 type Mesh struct {
 	cfg      Config
 	eng      *sim.Engine
@@ -99,6 +101,11 @@ type Mesh struct {
 	// serializing another message's flits.
 	linkFree []sim.Time
 	stats    Stats
+
+	// avgHops memoizes AverageHops (O(n²) to compute; consulted per
+	// machine construction and per AverageLatency call).
+	avgHops     float64
+	avgHopsDone bool
 }
 
 // New returns a mesh attached to eng. Node handlers start nil; Attach must
@@ -123,6 +130,12 @@ func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
 // Attach registers the receive handler for node id.
 func (m *Mesh) Attach(id int, h Handler) {
 	m.handlers[id] = h
+}
+
+// OnEvent implements sim.Handler: deliver an in-flight message (arg) to the
+// destination node carried in the payload word.
+func (m *Mesh) OnEvent(arg any, word uint64) {
+	m.handlers[word](arg)
 }
 
 // Stats returns a snapshot of the accumulated network statistics.
@@ -192,8 +205,12 @@ func abs(v int) int {
 
 // AverageHops returns the mean Manhattan distance over all ordered pairs of
 // distinct nodes. PUNO uses it to derive the average cache-to-cache latency
-// for the notification guard band.
+// for the notification guard band. The O(n²) scan runs once; the result is
+// memoized (the topology is fixed at construction).
 func (m *Mesh) AverageHops() float64 {
+	if m.avgHopsDone {
+		return m.avgHops
+	}
 	n := m.Nodes()
 	total, pairs := 0, 0
 	for s := 0; s < n; s++ {
@@ -205,11 +222,14 @@ func (m *Mesh) AverageHops() float64 {
 			pairs++
 		}
 	}
-	return float64(total) / float64(pairs)
+	m.avgHops = float64(total) / float64(pairs)
+	m.avgHopsDone = true
+	return m.avgHops
 }
 
 // AverageLatency returns the uncontended end-to-end latency of a f-flit
-// message over the average-hop path, in cycles.
+// message over the average-hop path, in cycles. O(1) after the first call
+// thanks to the AverageHops memo.
 func (m *Mesh) AverageLatency(flits int) sim.Time {
 	h := sim.Time(m.AverageHops() + 0.5)
 	// Per hop: router pipeline + link; plus serialization of the tail flits.
@@ -234,15 +254,35 @@ func (m *Mesh) Send(src, dst int, class Class, flits int, payload any) {
 	now := m.eng.Now()
 	if src == dst {
 		m.stats.TotalLatency += uint64(m.cfg.LocalCycles)
-		m.eng.After(m.cfg.LocalCycles, func() { h(payload) })
+		m.eng.AfterEvent(m.cfg.LocalCycles, m, payload, uint64(dst))
 		return
 	}
 
-	route := m.Route(src, dst)
-	// Head-flit arrival time threading through each router and link.
+	// Walk the X-then-Y dimension-order route inline (same hop sequence
+	// Route returns, without materializing it), threading the head-flit
+	// arrival time through each router and link.
+	sx, sy := m.xy(src)
+	dx, dy := m.xy(dst)
 	t := now + m.cfg.RouterStages // source router pipeline
 	var queueing sim.Time
-	for _, link := range route {
+	hops := 0
+	x, y := sx, sy
+	for x != dx || y != dy {
+		var link int
+		switch {
+		case x < dx:
+			link = m.linkIndex(y*m.cfg.Width+x, dirEast)
+			x++
+		case x > dx:
+			link = m.linkIndex(y*m.cfg.Width+x, dirWest)
+			x--
+		case y < dy:
+			link = m.linkIndex(y*m.cfg.Width+x, dirSouth)
+			y++
+		default:
+			link = m.linkIndex(y*m.cfg.Width+x, dirNorth)
+			y--
+		}
 		depart := t
 		if m.linkFree[link] > depart {
 			queueing += m.linkFree[link] - depart
@@ -252,13 +292,14 @@ func (m *Mesh) Send(src, dst int, class Class, flits int, payload any) {
 		m.linkFree[link] = depart + sim.Time(flits)*m.cfg.LinkCycles
 		// Head flit reaches the next router, then traverses its pipeline.
 		t = depart + m.cfg.LinkCycles + m.cfg.RouterStages
+		hops++
 	}
 	// Tail flit trails the head by (flits-1) cycles at the destination.
 	t += sim.Time(flits-1) * m.cfg.LinkCycles
 
 	// Every flit visits every router on the path (hops+1 routers).
-	m.stats.RouterTraversal[class] += uint64(flits) * uint64(len(route)+1)
+	m.stats.RouterTraversal[class] += uint64(flits) * uint64(hops+1)
 	m.stats.TotalLatency += uint64(t - now)
 	m.stats.QueueingDelay += uint64(queueing)
-	m.eng.At(t, func() { h(payload) })
+	m.eng.AtEvent(t, m, payload, uint64(dst))
 }

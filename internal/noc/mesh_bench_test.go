@@ -1,0 +1,66 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkSend measures the per-message cost of the interconnect hot path
+// — inline dimension-order route walk, contention accounting, closure-free
+// delivery scheduling. Run with -benchmem: the zero-allocation claim of the
+// simulation hot path starts here.
+func BenchmarkSend(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		flits int
+	}{
+		{"control-1flit", 1},
+		{"data-5flit", 5},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			eng := sim.NewEngine()
+			m := New(DefaultConfig(), eng)
+			n := m.Nodes()
+			for i := 0; i < n; i++ {
+				m.Attach(i, func(any) {})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Send(i%n, (i+5)%n, ClassRequest, bc.flits, nil)
+				if i%1024 == 0 {
+					eng.Run(sim.Infinity)
+				}
+			}
+			eng.Run(sim.Infinity)
+		})
+	}
+}
+
+// BenchmarkSendLocal measures the node-local (src == dst) fast path.
+func BenchmarkSendLocal(b *testing.B) {
+	eng := sim.NewEngine()
+	m := New(DefaultConfig(), eng)
+	m.Attach(3, func(any) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(3, 3, ClassResponse, 1, nil)
+		if i%1024 == 0 {
+			eng.Run(sim.Infinity)
+		}
+	}
+	eng.Run(sim.Infinity)
+}
+
+// BenchmarkAverageLatency exercises the memoized topology summary the
+// machine constructor consults (previously O(n²) per call).
+func BenchmarkAverageLatency(b *testing.B) {
+	m := New(DefaultConfig(), sim.NewEngine())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.AverageLatency(5)
+	}
+}

@@ -1,0 +1,71 @@
+// Package prof wires the conventional -cpuprofile/-memprofile flags into
+// the command-line tools. Profiles must be flushed on every exit path —
+// including a context cancellation that aborts a sweep mid-run — so the
+// Profiler is stopped via defer and Stop is idempotent.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler holds the state of an in-progress profiling session. The zero
+// value (from Start with empty paths) is inert.
+type Profiler struct {
+	memPath string
+	cpuFile *os.File
+	stopped bool
+}
+
+// Start begins CPU profiling into cpuPath (when non-empty) and arranges
+// for a heap profile to be written to memPath (when non-empty) at Stop.
+func Start(cpuPath, memPath string) (*Profiler, error) {
+	p := &Profiler{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// Stop flushes both profiles. It is idempotent, so callers can defer it
+// for the cancellation path and also call it explicitly to surface write
+// errors on the clean path.
+func (p *Profiler) Stop() error {
+	if p == nil || p.stopped {
+		return nil
+	}
+	p.stopped = true
+	var first error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			first = err
+		}
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			return first
+		}
+		runtime.GC() // materialize up-to-date allocation stats
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil && first == nil {
+			first = err
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
