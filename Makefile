@@ -2,7 +2,7 @@ GO ?= go
 BENCH ?= BenchmarkSweepParallelism
 BENCH_COUNT ?= 8
 
-.PHONY: all test race bench bench-baseline bench-compare golden clean
+.PHONY: all test race bench bench-baseline bench-compare bench-snapshot golden clean
 
 all: test
 
@@ -41,10 +41,17 @@ bench-compare:
 		echo "== new  =="; grep '^Benchmark' bench_new.txt; \
 	fi
 
+# Regenerate BENCH_sweep.json from a fresh multi-count run of the hot-path
+# benchmark: the previous "current" entry is rotated into the baseline slot
+# and the new numbers become current. Describe the change with NOTE=...
+bench-snapshot:
+	$(GO) test -run '^$$' -bench '$(BENCH)/serial' -benchmem -count $(BENCH_COUNT) . | tee bench_snapshot.txt
+	$(GO) run ./cmd/benchsnap -in bench_snapshot.txt -out BENCH_sweep.json -note '$(NOTE)'
+
 # Regenerate the determinism golden files after an intentional change.
 golden:
 	$(GO) test -run Golden -update .
 
 clean:
 	$(GO) clean ./...
-	rm -f bench_base.txt bench_new.txt
+	rm -f bench_base.txt bench_new.txt bench_snapshot.txt

@@ -1,0 +1,214 @@
+// Command benchsnap maintains BENCH_sweep.json, the committed hot-path
+// performance snapshot.
+//
+// Update mode parses `go test -bench` output, averages the matching
+// benchmark's ns/op, B/op, and allocs/op across -count repetitions, and
+// rewrites the snapshot: the previous "current" entry becomes the baseline
+// and the fresh numbers become current (with -note describing the change).
+//
+//	go test -run '^$' -bench 'SweepParallelism/serial' -benchmem -count 8 . > bench.txt
+//	benchsnap -in bench.txt -out BENCH_sweep.json -note "time-wheel scheduler"
+//
+// Emit mode prints a snapshot entry back out in Go benchmark format, so CI
+// can benchstat the committed snapshot against a fresh run:
+//
+//	benchsnap -emit current -out BENCH_sweep.json > snapshot.txt
+//	benchstat snapshot.txt fresh.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type entry struct {
+	Note        string `json:"note"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+type improvement struct {
+	AllocsRatio      float64 `json:"allocs_ratio"`
+	BytesRatio       float64 `json:"bytes_ratio"`
+	TimeReductionPct float64 `json:"time_reduction_pct"`
+}
+
+type snapshot struct {
+	Benchmark    string      `json:"benchmark"`
+	Description  string      `json:"description"`
+	Machine      string      `json:"machine"`
+	Date         string      `json:"date"`
+	GoBenchFlags string      `json:"go_bench_flags"`
+	Baseline     entry       `json:"baseline"`
+	Current      entry       `json:"current"`
+	Improvement  improvement `json:"improvement"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchsnap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in    = fs.String("in", "-", "bench output to parse ('-' for stdin)")
+		out   = fs.String("out", "BENCH_sweep.json", "snapshot file to update (or read, with -emit)")
+		bench = fs.String("bench", "BenchmarkSweepParallelism/serial", "benchmark name to extract")
+		note  = fs.String("note", "", "description of the change recorded as the new current entry")
+		emit  = fs.String("emit", "", "print the named snapshot entry (baseline|current) in Go benchmark format and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *emit != "" {
+		return emitEntry(stdout, *out, *emit)
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	fresh, runs, err := parseBench(r, *bench)
+	if err != nil {
+		return err
+	}
+
+	snap, err := load(*out)
+	if err != nil {
+		return err
+	}
+	fresh.Note = *note
+	snap.Baseline = snap.Current
+	snap.Current = fresh
+	snap.Date = time.Now().Format("2006-01-02")
+	snap.Improvement = improve(snap.Baseline, snap.Current)
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: %s over %d runs: %d ns/op, %d B/op, %d allocs/op (%.1f%% faster than previous current)\n",
+		*out, *bench, runs, fresh.NsPerOp, fresh.BytesPerOp, fresh.AllocsPerOp, snap.Improvement.TimeReductionPct)
+	return nil
+}
+
+func load(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading snapshot: %w", err)
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func improve(base, cur entry) improvement {
+	ratio := func(a, b int64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return math.Round(float64(a)/float64(b)*100) / 100
+	}
+	imp := improvement{
+		AllocsRatio: ratio(base.AllocsPerOp, cur.AllocsPerOp),
+		BytesRatio:  ratio(base.BytesPerOp, cur.BytesPerOp),
+	}
+	if base.NsPerOp > 0 {
+		imp.TimeReductionPct = math.Round(float64(base.NsPerOp-cur.NsPerOp)/float64(base.NsPerOp)*1000) / 10
+	}
+	return imp
+}
+
+// parseBench extracts the named benchmark's mean ns/op, B/op, and allocs/op
+// from `go test -bench` output (one line per -count repetition; the name
+// carries a -<GOMAXPROCS> suffix).
+func parseBench(r io.Reader, bench string) (entry, int, error) {
+	var nsSum, bSum, aSum float64
+	runs := 0
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		if name != bench {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return entry{}, 0, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				nsSum += v
+			case "B/op":
+				bSum += v
+			case "allocs/op":
+				aSum += v
+			}
+		}
+		runs++
+	}
+	if err := sc.Err(); err != nil {
+		return entry{}, 0, err
+	}
+	if runs == 0 {
+		return entry{}, 0, fmt.Errorf("no %q lines found in bench output", bench)
+	}
+	n := float64(runs)
+	return entry{
+		NsPerOp:     int64(math.Round(nsSum / n)),
+		BytesPerOp:  int64(math.Round(bSum / n)),
+		AllocsPerOp: int64(math.Round(aSum / n)),
+	}, runs, nil
+}
+
+// emitEntry prints a snapshot entry as a Go benchmark line benchstat can
+// consume.
+func emitEntry(w io.Writer, path, which string) error {
+	snap, err := load(path)
+	if err != nil {
+		return err
+	}
+	var e entry
+	switch which {
+	case "baseline":
+		e = snap.Baseline
+	case "current":
+		e = snap.Current
+	default:
+		return fmt.Errorf("-emit %q: want baseline or current", which)
+	}
+	fmt.Fprintf(w, "%s 1 %d ns/op %d B/op %d allocs/op\n",
+		snap.Benchmark, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	return nil
+}

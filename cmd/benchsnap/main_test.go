@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweepParallelism/serial-4         	      44	  26000000 ns/op	         8.000 runs/op	 4000000 B/op	   88000 allocs/op
+BenchmarkSweepParallelism/serial-4         	      40	  28000000 ns/op	         8.000 runs/op	 4000002 B/op	   88002 allocs/op
+BenchmarkSweepParallelism/parallel-4       	     100	   9000000 ns/op	         8.000 runs/op	 4000000 B/op	   88000 allocs/op
+PASS
+`
+
+const sampleSnapshot = `{
+  "benchmark": "BenchmarkSweepParallelism/serial",
+  "description": "test snapshot",
+  "machine": "test",
+  "date": "2026-01-01",
+  "go_bench_flags": "-benchmem",
+  "baseline": {"note": "seed", "ns_per_op": 71000000, "bytes_per_op": 43300000, "allocs_per_op": 742210},
+  "current": {"note": "pooled", "ns_per_op": 41766000, "bytes_per_op": 11984354, "allocs_per_op": 94644},
+  "improvement": {"allocs_ratio": 7.84, "bytes_ratio": 3.61, "time_reduction_pct": 41.2}
+}`
+
+func writeFixtures(t *testing.T) (benchPath, snapPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	benchPath = filepath.Join(dir, "bench.txt")
+	snapPath = filepath.Join(dir, "snap.json")
+	if err := os.WriteFile(benchPath, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapPath, []byte(sampleSnapshot), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return benchPath, snapPath
+}
+
+func TestUpdateRotatesCurrentIntoBaseline(t *testing.T) {
+	benchPath, snapPath := writeFixtures(t)
+	var out, errb bytes.Buffer
+	err := run([]string{"-in", benchPath, "-out", snapPath, "-note", "wheel"}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Baseline.NsPerOp != 41766000 || s.Baseline.Note != "pooled" {
+		t.Fatalf("baseline not rotated from previous current: %+v", s.Baseline)
+	}
+	if s.Current.NsPerOp != 27000000 || s.Current.BytesPerOp != 4000001 || s.Current.AllocsPerOp != 88001 {
+		t.Fatalf("current entry not averaged over serial runs only: %+v", s.Current)
+	}
+	if s.Current.Note != "wheel" {
+		t.Fatalf("note = %q", s.Current.Note)
+	}
+	if s.Improvement.TimeReductionPct < 35 || s.Improvement.TimeReductionPct > 36 {
+		t.Fatalf("time reduction = %v, want ~35.4", s.Improvement.TimeReductionPct)
+	}
+	if !strings.Contains(out.String(), "2 runs") {
+		t.Fatalf("summary output: %q", out.String())
+	}
+}
+
+func TestEmitBenchstatFormat(t *testing.T) {
+	_, snapPath := writeFixtures(t)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-emit", "current", "-out", snapPath}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	want := "BenchmarkSweepParallelism/serial 1 41766000 ns/op 11984354 B/op 94644 allocs/op\n"
+	if out.String() != want {
+		t.Fatalf("emit = %q, want %q", out.String(), want)
+	}
+	out.Reset()
+	if err := run([]string{"-emit", "baseline", "-out", snapPath}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "71000000 ns/op") {
+		t.Fatalf("baseline emit = %q", out.String())
+	}
+	if err := run([]string{"-emit", "bogus", "-out", snapPath}, &out, &errb); err == nil {
+		t.Fatal("emit with a bogus entry name succeeded")
+	}
+}
+
+func TestNoMatchingBenchLinesFails(t *testing.T) {
+	benchPath, snapPath := writeFixtures(t)
+	var out, errb bytes.Buffer
+	err := run([]string{"-in", benchPath, "-out", snapPath, "-bench", "BenchmarkMissing"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "no \"BenchmarkMissing\" lines") {
+		t.Fatalf("err = %v", err)
+	}
+}

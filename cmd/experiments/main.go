@@ -68,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		scale    = fs.Float64("scale", 1.0, "workload size multiplier")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (samples carry per-run pprof labels: task index and workload/scheme/seed)")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {

@@ -103,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "simulation seed")
 		txper    = fs.Int("txper", 0, "transactions per node (0 = profile default)")
 		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (samples carry per-run pprof labels: task index and workload/scheme/seed)")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {

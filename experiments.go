@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/area"
+	"repro/internal/machine"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/stamp"
@@ -42,15 +43,56 @@ type RunSpec struct {
 	Workload Workload
 }
 
+// runArena is one worker's reusable simulation machine: the first run
+// builds it, later runs Reset it in place, so a long sweep pays machine
+// construction (caches, directory pools, event-queue slabs) once per worker
+// instead of once per sweep point.
+type runArena struct {
+	m *Machine
+}
+
+// run executes one spec on the arena and returns a deep copy of the
+// result (the machine's Result is reused by the next run).
+func (a *runArena) run(sp RunSpec) (*Result, error) {
+	var err error
+	if a.m == nil {
+		a.m, err = machine.New(sp.Config, sp.Workload)
+	} else {
+		err = a.m.Reset(sp.Config, sp.Workload)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.m.Run()
+	if err != nil {
+		return nil, err
+	}
+	return res.Clone(), nil
+}
+
 // RunSpecs executes the given runs, fanning them across a worker pool per
-// opts, and returns the results in spec order. Each failure is wrapped
-// with its workload, scheme, and seed, and all failures are collected (not
-// just the first). Cancelling ctx abandons not-yet-started runs.
+// opts, and returns the results in spec order. Each worker reuses one
+// machine arena across its runs (results are identical to fresh
+// construction — Machine.Reset and New share one code path — and
+// independent of how specs land on workers). Each failure is wrapped with
+// its workload, scheme, and seed, and all failures are collected (not just
+// the first). Cancelling ctx abandons not-yet-started runs. Tasks carry
+// pprof labels (task index and workload/scheme/seed), so CPU profiles
+// taken over a sweep attribute samples per sweep point.
 func RunSpecs(ctx context.Context, specs []RunSpec, opts SweepOptions) ([]*Result, error) {
-	return runner.Map(ctx, len(specs), runner.Options{Workers: opts.Parallel, Progress: opts.Progress},
-		func(_ context.Context, i int) (*Result, error) {
+	ropts := runner.Options{
+		Workers:  opts.Parallel,
+		Progress: opts.Progress,
+		Label: func(i int) string {
 			sp := specs[i]
-			res, err := Run(sp.Config, sp.Workload)
+			return fmt.Sprintf("%s/%v/seed%d", sp.Workload.Name(), sp.Config.Scheme, sp.Config.Seed)
+		},
+	}
+	return runner.MapWorkers(ctx, len(specs), ropts,
+		func(int) *runArena { return &runArena{} },
+		func(_ context.Context, i int, a *runArena) (*Result, error) {
+			sp := specs[i]
+			res, err := a.run(sp)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%v (seed %d): %w",
 					sp.Workload.Name(), sp.Config.Scheme, sp.Config.Seed, err)

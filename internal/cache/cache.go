@@ -91,6 +91,19 @@ func New(cfg Config) *Cache {
 	}
 }
 
+// Reset returns the cache to the all-invalid state New(cfg) would produce,
+// reusing the entry array when the geometry is unchanged (the arena-reuse
+// path of the sweep harness) and reallocating it otherwise.
+func (c *Cache) Reset(cfg Config) {
+	if cfg.Ways != c.ways || cfg.Sets() != c.sets {
+		*c = *New(cfg) // validates cfg and sizes the array
+		return
+	}
+	clear(c.entries)
+	c.tick = 0
+	c.Hits, c.Misses, c.Evictions = 0, 0, 0
+}
+
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return c.sets }
 

@@ -173,6 +173,22 @@ func NewDirectory(node, nodes int, env Env, pred Predictor) *Directory {
 	}
 }
 
+// Reset returns the controller to the state NewDirectory would produce for
+// the same node/nodes/env, swapping in pred (the predictor is rebuilt per
+// run) and moving every live entry to the free list so a reused directory
+// repopulates without allocating. DirLatency and QueueCap revert to their
+// construction defaults.
+func (d *Directory) Reset(pred Predictor) {
+	d.pred = pred
+	d.DirLatency = 1
+	d.QueueCap = d.nodes
+	for l, e := range d.entries {
+		delete(d.entries, l)
+		d.freeEntries = append(d.freeEntries, e)
+	}
+	d.stats = Stats{}
+}
+
 // Stats returns a copy of the accumulated statistics.
 func (d *Directory) Stats() Stats { return d.stats }
 

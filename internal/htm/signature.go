@@ -27,6 +27,10 @@ func NewSignature(bits int) *Signature {
 	}
 }
 
+// roundSignatureBits returns the effective filter size NewSignature(bits)
+// would report — the reuse check for recycled signatures.
+func roundSignatureBits(bits int) int { return (bits + 63) / 64 * 64 }
+
 // Bits returns the filter size in bits.
 func (s *Signature) Bits() int { return s.bits }
 

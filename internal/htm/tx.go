@@ -115,10 +115,38 @@ func NewTx(node int) *Tx {
 // UseSignatures switches conflict tracking to Bloom-filter signatures of the
 // given size in bits (in addition to the exact sets, which are still kept
 // for version management). Conflict checks then go through the signature and
-// may report false positives, as in LogTM-SE.
+// may report false positives, as in LogTM-SE. A previously allocated filter
+// of the same size is cleared and reused.
 func (t *Tx) UseSignatures(bits int) {
 	t.useSignature = true
+	if t.sig != nil && t.sig.Bits() == roundSignatureBits(bits) {
+		t.sig.Clear()
+		return
+	}
 	t.sig = NewSignature(bits)
+}
+
+// HardReset returns the context to the state NewTx(node) would produce —
+// idle, no priority, no attempts — while keeping the read/write set, undo
+// log, and signature capacity for reuse. Unlike Reset (which only consumes
+// a finished attempt), HardReset may be called in any state: it is the
+// arena-reuse path, run between simulations, so no attempt can be live.
+// Signature mode is switched off; the next run re-enables it via
+// UseSignatures when its config asks for them.
+func (t *Tx) HardReset(node int) {
+	t.Node = node
+	t.StaticID = 0
+	t.Prio = 0
+	t.Status = StatusIdle
+	t.readSet.Reset()
+	t.writeSet.Reset()
+	t.undo = t.undo[:0]
+	t.BeginCycle = 0
+	t.Attempts = 0
+	t.useSignature = false
+	if t.sig != nil {
+		t.sig.Clear()
+	}
 }
 
 // Begin starts a new dynamic instance at cycle now. If retry is true the

@@ -115,35 +115,77 @@ func (e dirEnv) StoreLine(l mem.Line, d mem.LineData) {
 
 // New builds a machine running wl under cfg. The backing memory starts
 // zeroed; use Backing to preload initial data before Run.
+//
+// New is implemented as Reset on an empty machine, so a freshly built
+// machine and a reused arena execute the exact same construction path —
+// the property that keeps sweep results independent of arena reuse.
 func New(cfg Config, wl Workload) (*Machine, error) {
+	m := &Machine{}
+	if err := m.Reset(cfg, wl); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reset rebuilds m to run wl under cfg (whose Seed field seeds the run,
+// exactly as in New), reusing every retained allocation: the event engine's
+// slab and wheel, the mesh arrays, cache arrays, HTM set/undo/signature
+// storage, directory entry pools, the coherence message pool, and the
+// result's map/slices. After Reset the machine is indistinguishable from
+// New(cfg, wl): same construction order, same RNG stream, same Run
+// trajectory. Reset may be called in any state, including after a failed
+// run — the engine reset drops all pending events.
+func (m *Machine) Reset(cfg Config, wl Workload) error {
 	if cfg.Nodes != cfg.Mesh.Width*cfg.Mesh.Height {
-		return nil, fmt.Errorf("machine: %d nodes does not match %dx%d mesh",
+		return fmt.Errorf("machine: %d nodes does not match %dx%d mesh",
 			cfg.Nodes, cfg.Mesh.Width, cfg.Mesh.Height)
 	}
-	m := &Machine{
-		cfg:        cfg,
-		eng:        sim.NewEngine(),
-		home:       mem.NewHomeMap(cfg.Nodes),
-		backing:    mem.NewBacking(),
-		l2Seen:     make(map[mem.Line]bool),
-		rootRNG:    sim.NewRNG(cfg.Seed),
-		incrCounts: make(map[mem.Addr]uint64),
+	m.cfg = cfg
+	if m.eng == nil {
+		m.eng = sim.NewEngine()
+	} else {
+		m.eng.Reset()
 	}
-	m.mesh = noc.New(cfg.Mesh, m.eng)
-	m.res = Result{
-		Workload:       wl.Name(),
-		Scheme:         cfg.Scheme,
-		FalseAbortHist: make(map[int]uint64),
-		PerNodeCommits: make([]uint64, cfg.Nodes),
-		PerNodeAborts:  make([]uint64, cfg.Nodes),
+	m.home = mem.NewHomeMap(cfg.Nodes)
+	if m.backing == nil {
+		m.backing = mem.NewBacking()
+	} else {
+		m.backing.Reset()
 	}
+	if m.l2Seen == nil {
+		m.l2Seen = make(map[mem.Line]bool)
+	} else {
+		clear(m.l2Seen)
+	}
+	if m.rootRNG == nil {
+		m.rootRNG = sim.NewRNG(cfg.Seed)
+	} else {
+		m.rootRNG.Reseed(cfg.Seed)
+	}
+	if m.incrCounts == nil {
+		m.incrCounts = make(map[mem.Addr]uint64)
+	} else {
+		clear(m.incrCounts)
+	}
+	if m.mesh == nil {
+		m.mesh = noc.New(cfg.Mesh, m.eng)
+	} else {
+		m.mesh.Reset(cfg.Mesh, m.eng)
+	}
+	m.res.reset(wl.Name(), cfg.Scheme, cfg.Nodes)
+	m.active = 0
+	m.runErr = nil
+	// msgFree is kept as-is: pooled messages are overwritten wholesale at
+	// every fill site, so leftover contents are harmless.
 
 	usePred := cfg.Scheme == SchemePUNO || cfg.Scheme == SchemeUnicastOnly || cfg.Scheme == SchemePUNOPush
-	m.dirs = make([]*coherence.Directory, cfg.Nodes)
-	m.preds = make([]*core.Predictor, cfg.Nodes)
-	m.nodes = make([]*node, cfg.Nodes)
-	m.dirFree = make([]sim.Time, cfg.Nodes)
-	m.l1Free = make([]sim.Time, cfg.Nodes)
+	if len(m.nodes) != cfg.Nodes {
+		m.dirs = make([]*coherence.Directory, cfg.Nodes)
+		m.preds = make([]*core.Predictor, cfg.Nodes)
+		m.nodes = make([]*node, cfg.Nodes)
+	}
+	m.dirFree = resizeTimes(m.dirFree, cfg.Nodes)
+	m.l1Free = resizeTimes(m.l1Free, cfg.Nodes)
 	guard := cfg.NotifyGuardOverride
 	if guard == 0 {
 		guard = 2 * m.mesh.AverageLatency(coherence.DataFlits)
@@ -154,6 +196,7 @@ func New(cfg Config, wl Workload) (*Machine, error) {
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		var pred coherence.Predictor
+		m.preds[i] = nil
 		if usePred {
 			pcfg := core.DefaultPredictorConfig(cfg.Nodes)
 			pcfg.FixedTimeout = cfg.FixedValidityTimeout
@@ -165,17 +208,34 @@ func New(cfg Config, wl Workload) (*Machine, error) {
 			m.preds[i] = p
 			pred = p
 		}
-		m.dirs[i] = coherence.NewDirectory(i, cfg.Nodes, dirEnv{m, i}, pred)
-		prog := wl.Program(i, m.rootRNG.Fork(1000+uint64(i)))
-		n := newNode(i, m, prog, mb.build(i))
-		if cfg.SignatureBits > 0 {
-			n.tx.UseSignatures(cfg.SignatureBits)
+		if m.dirs[i] == nil {
+			m.dirs[i] = coherence.NewDirectory(i, cfg.Nodes, dirEnv{m, i}, pred)
+		} else {
+			m.dirs[i].Reset(pred)
 		}
-		m.nodes[i] = n
+		prog := wl.Program(i, m.rootRNG.Fork(1000+uint64(i)))
+		if m.nodes[i] == nil {
+			m.nodes[i] = newNode(i, m, prog, mb.build(i))
+		} else {
+			m.nodes[i].reset(prog, mb.build(i))
+		}
+		if cfg.SignatureBits > 0 {
+			m.nodes[i].tx.UseSignatures(cfg.SignatureBits)
+		}
 		id := i
 		m.mesh.Attach(i, func(payload any) { m.deliver(id, payload.(*coherence.Msg)) })
 	}
-	return m, nil
+	return nil
+}
+
+// resizeTimes returns s resized to n elements, all zero, reusing capacity.
+func resizeTimes(s []sim.Time, n int) []sim.Time {
+	if cap(s) < n {
+		return make([]sim.Time, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // BeginGater is an optional extension a contention manager can implement

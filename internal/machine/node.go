@@ -130,17 +130,50 @@ type node struct {
 }
 
 func newNode(id int, m *Machine, prog Program, mgr cm.Manager) *node {
-	return &node{
+	n := &node{
 		id:     id,
 		m:      m,
 		l1:     cache.New(m.cfg.L1),
 		tx:     htm.NewTx(id),
-		cmgr:   mgr,
-		txlb:   core.NewTxLB(m.cfg.TxLBEntries),
-		rng:    m.rootRNG.Fork(uint64(id) + 1),
-		prog:   prog,
 		wbWait: make(map[mem.Line]mem.LineData),
 	}
+	n.attach(prog, mgr)
+	return n
+}
+
+// attach installs the per-run pieces newNode and reset share: the program,
+// the contention manager, a fresh TxLB, and the node's forked RNG. The fork
+// happens here — after the caller forked the program's RNG — so fresh and
+// reused nodes consume the root stream in the same order.
+func (n *node) attach(prog Program, mgr cm.Manager) {
+	n.prog = prog
+	n.cmgr = mgr
+	n.txlb = core.NewTxLB(n.m.cfg.TxLBEntries)
+	n.rng = n.m.rootRNG.Fork(uint64(n.id) + 1)
+}
+
+// reset rearms the node for a fresh run under the machine's (possibly new)
+// config, reusing its containers: the L1 array, the HTM context's set/undo
+// storage, the writeback map, and the lineOpSet backing slices. Every other
+// field reverts to its newNode zero value wholesale, so a forgotten field
+// cannot leak state between arena-reused runs.
+func (n *node) reset(prog Program, mgr cm.Manager) {
+	n.l1.Reset(n.m.cfg.L1)
+	n.tx.HardReset(n.id)
+	clear(n.wbWait)
+	fl, pl := n.firstLoad, n.promotedLoads
+	fl.reset()
+	pl.reset()
+	*n = node{
+		id:            n.id,
+		m:             n.m,
+		l1:            n.l1,
+		tx:            n.tx,
+		wbWait:        n.wbWait,
+		firstLoad:     fl,
+		promotedLoads: pl,
+	}
+	n.attach(prog, mgr)
 }
 
 // Node event codes for closure-free continuation dispatch (sim.Handler).

@@ -105,6 +105,53 @@ type Result struct {
 	Timeline []Sample
 }
 
+// reset returns r to the state a fresh Result for (workload, scheme,
+// nodes) holds, reusing the histogram map, the per-node slices, and the
+// Timeline's capacity — the arena-reuse path of Machine.Reset.
+func (r *Result) reset(workload string, scheme Scheme, nodes int) {
+	hist := r.FalseAbortHist
+	if hist == nil {
+		hist = make(map[int]uint64)
+	} else {
+		clear(hist)
+	}
+	*r = Result{
+		Workload:       workload,
+		Scheme:         scheme,
+		FalseAbortHist: hist,
+		PerNodeCommits: resizeCounts(r.PerNodeCommits, nodes),
+		PerNodeAborts:  resizeCounts(r.PerNodeAborts, nodes),
+		Timeline:       r.Timeline[:0],
+	}
+}
+
+// resizeCounts returns s resized to n elements, all zero, reusing capacity.
+func resizeCounts(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// Clone returns a deep copy of r. Machine.Run returns a pointer into the
+// machine, and the sweep harness reuses one machine arena per worker —
+// results that must outlive the arena's next Reset are cloned first.
+func (r *Result) Clone() *Result {
+	c := *r
+	if r.FalseAbortHist != nil {
+		c.FalseAbortHist = make(map[int]uint64, len(r.FalseAbortHist))
+		for k, v := range r.FalseAbortHist {
+			c.FalseAbortHist[k] = v
+		}
+	}
+	c.PerNodeCommits = append([]uint64(nil), r.PerNodeCommits...)
+	c.PerNodeAborts = append([]uint64(nil), r.PerNodeAborts...)
+	c.Timeline = append([]Sample(nil), r.Timeline...)
+	return &c
+}
+
 // Sample is one Timeline entry: the interval's deltas.
 type Sample struct {
 	Cycle   sim.Time

@@ -115,3 +115,9 @@ func (b *Backing) StoreWord(a Addr, v uint64) {
 
 // Touched returns the number of distinct lines ever stored.
 func (b *Backing) Touched() int { return len(b.lines) }
+
+// Reset empties the image (every line reads as zero again), retaining the
+// map's capacity so a reused Backing repopulates without rehashing.
+func (b *Backing) Reset() {
+	clear(b.lines)
+}

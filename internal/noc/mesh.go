@@ -124,6 +124,22 @@ func New(cfg Config, eng *sim.Engine) *Mesh {
 	}
 }
 
+// Reset returns the mesh to the state New(cfg, eng) would produce, reusing
+// the handler and link arrays (and the AverageHops memo) when the topology
+// is unchanged. Handlers are cleared either way: the machine re-Attaches
+// every node during its own reset, so a stale handler can never be invoked.
+func (m *Mesh) Reset(cfg Config, eng *sim.Engine) {
+	if cfg.Width != m.cfg.Width || cfg.Height != m.cfg.Height {
+		*m = *New(cfg, eng)
+		return
+	}
+	m.cfg = cfg
+	m.eng = eng
+	clear(m.handlers)
+	clear(m.linkFree)
+	m.stats = Stats{}
+}
+
 // Nodes returns the number of nodes in the mesh.
 func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
 

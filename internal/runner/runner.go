@@ -11,7 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 )
 
@@ -27,6 +29,13 @@ type Options struct {
 	// (with more than one worker) arrive from pool goroutines, so the
 	// callback must not assume it runs on the caller's goroutine.
 	Progress func(done, total int)
+
+	// Label, when non-nil, names task i for profiling: the task runs under
+	// pprof.Do with labels task=<i> and spec=<Label(i)>, so CPU profiles
+	// attribute samples to individual sweep points instead of one
+	// undifferentiated pool. Label must be safe to call from pool
+	// goroutines.
+	Label func(i int) string
 }
 
 // TaskError wraps a task failure with the index it occurred at.
@@ -50,6 +59,20 @@ func (e *TaskError) Unwrap() error { return e.Err }
 // includes ctx's error. Result slots whose task failed or was never
 // dispatched hold the zero value of T.
 func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapWorkers(ctx, n, opts,
+		func(int) struct{} { return struct{}{} },
+		func(ctx context.Context, i int, _ struct{}) (T, error) { return fn(ctx, i) })
+}
+
+// MapWorkers is Map with per-worker state: newState(w) runs once on each
+// pool goroutine (w in [0, workers)) before it takes its first task, and
+// the returned value is passed to every task that goroutine executes. This
+// is the hook the sweep harness uses to keep one reusable simulation arena
+// per worker instead of rebuilding a machine for every sweep point. In
+// serial mode (one worker) a single state is created on the calling
+// goroutine. States are never shared between goroutines and are dropped
+// when the pool drains; tasks own any cleanup.
+func MapWorkers[S, T any](ctx context.Context, n int, opts Options, newState func(w int) S, fn func(ctx context.Context, i int, state S) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("runner: negative task count %d", n)
 	}
@@ -83,15 +106,29 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 			opts.Progress(d, n)
 		}
 	}
+	run := func(ctx context.Context, i int, state S) (T, error) {
+		if opts.Label == nil {
+			return fn(ctx, i, state)
+		}
+		var res T
+		var err error
+		pprof.Do(ctx, pprof.Labels("task", strconv.Itoa(i), "spec", opts.Label(i)),
+			func(ctx context.Context) { res, err = fn(ctx, i, state) })
+		return res, err
+	}
 
 	if workers <= 1 {
 		// Serial mode: run inline, in index order, on the caller's
 		// goroutine — byte-for-byte the classic serial loop.
+		var state S
+		if n > 0 {
+			state = newState(0)
+		}
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return results, joinFailures(failures, err)
 			}
-			res, err := fn(ctx, i)
+			res, err := run(ctx, i, state)
 			finish(i, res, err)
 		}
 		return results, joinFailures(failures, nil)
@@ -101,13 +138,14 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			state := newState(w)
 			for i := range indices {
-				res, err := fn(ctx, i)
+				res, err := run(ctx, i, state)
 				finish(i, res, err)
 			}
-		}()
+		}(w)
 	}
 
 dispatch:

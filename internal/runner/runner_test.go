@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -71,7 +72,7 @@ func TestMapCollectsEveryError(t *testing.T) {
 func TestMapContextCancellationStopsDispatch(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var started atomic.Int64
-	release := make(chan struct{})  // blocks workers until cancel has happened
+	release := make(chan struct{})   // blocks workers until cancel has happened
 	cancelled := make(chan struct{}) // closed by the first task, after cancel
 	var once sync.Once
 	go func() {
@@ -193,5 +194,129 @@ func TestTaskErrorUnwrap(t *testing.T) {
 		})
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("errors.Is through TaskError failed: %v", err)
+	}
+}
+
+// TestMapWorkersStatePerGoroutine: each pool goroutine gets exactly one
+// state from newState, every task sees its own goroutine's state, and no
+// state is shared across goroutines.
+func TestMapWorkersStatePerGoroutine(t *testing.T) {
+	type state struct {
+		worker int
+		tasks  []int
+	}
+	for _, workers := range []int{1, 2, 5} {
+		var mu sync.Mutex
+		var states []*state
+		_, err := MapWorkers(context.Background(), 40, Options{Workers: workers},
+			func(w int) *state {
+				s := &state{worker: w}
+				mu.Lock()
+				states = append(states, s)
+				mu.Unlock()
+				return s
+			},
+			func(_ context.Context, i int, s *state) (int, error) {
+				s.tasks = append(s.tasks, i) // no lock: s must be goroutine-local
+				return i, nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(states) > workers {
+			t.Fatalf("workers=%d: newState ran %d times", workers, len(states))
+		}
+		seen := map[int]bool{}
+		total := 0
+		for _, s := range states {
+			for _, i := range s.tasks {
+				if seen[i] {
+					t.Fatalf("workers=%d: task %d ran on two states", workers, i)
+				}
+				seen[i] = true
+				total++
+			}
+		}
+		if total != 40 {
+			t.Fatalf("workers=%d: states saw %d tasks, want 40", workers, total)
+		}
+	}
+}
+
+// TestMapWorkersSerialReusesOneState: serial mode builds a single state and
+// threads it through every task in index order — the arena-per-worker
+// contract the sweep harness depends on for serial/parallel identity.
+func TestMapWorkersSerialReusesOneState(t *testing.T) {
+	builds := 0
+	var order []int
+	_, err := MapWorkers(context.Background(), 10, Options{Workers: 1},
+		func(w int) *[]int {
+			builds++
+			if w != 0 {
+				t.Fatalf("serial newState got worker index %d", w)
+			}
+			return &order
+		},
+		func(_ context.Context, i int, s *[]int) (struct{}, error) {
+			*s = append(*s, i)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds != 1 {
+		t.Fatalf("serial mode built %d states, want 1", builds)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+// TestMapTaskLabels: when Options.Label is set, each task runs under pprof
+// labels carrying its index and spec name, visible via pprof.Label inside
+// the task.
+func TestMapTaskLabels(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		var mu sync.Mutex
+		got := map[int][2]string{}
+		_, err := Map(context.Background(), 6,
+			Options{
+				Workers: workers,
+				Label:   func(i int) string { return fmt.Sprintf("spec-%d", i) },
+			},
+			func(ctx context.Context, i int) (struct{}, error) {
+				task, _ := pprof.Label(ctx, "task")
+				spec, _ := pprof.Label(ctx, "spec")
+				mu.Lock()
+				got[i] = [2]string{task, spec}
+				mu.Unlock()
+				return struct{}{}, nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := 0; i < 6; i++ {
+			want := [2]string{fmt.Sprintf("%d", i), fmt.Sprintf("spec-%d", i)}
+			if got[i] != want {
+				t.Fatalf("workers=%d task %d: labels %v, want %v", workers, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestMapNoLabelsWithoutLabelFunc: without a Label func, tasks run without
+// the pprof wrapper (no task label set).
+func TestMapNoLabelsWithoutLabelFunc(t *testing.T) {
+	_, err := Map(context.Background(), 2, Options{Workers: 1},
+		func(ctx context.Context, i int) (struct{}, error) {
+			if v, ok := pprof.Label(ctx, "task"); ok {
+				t.Errorf("task %d: unexpected pprof label task=%q", i, v)
+			}
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

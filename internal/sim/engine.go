@@ -4,16 +4,21 @@
 // the same seed and the same schedule of events produces bit-identical
 // results, which the experiment harness relies on.
 //
-// The queue is an intrusive, index-based 4-ary heap over a slab of event
-// slots recycled through a free list, so steady-state scheduling performs
-// no heap allocation. Events can be scheduled either as closures (At/After)
-// or — on hot paths — closure-free via a Handler interface plus a payload
-// value and word (AtEvent/AfterEvent).
+// The queue is a two-level hierarchical time wheel over a slab of event
+// slots recycled through a free list. Short delays — the overwhelming
+// majority in a cache-coherent CMP model: NoC hops, controller occupancy
+// windows, hit latencies, fixed backoffs — land in a dense near-horizon
+// wheel with O(1) schedule and pop; long timers (notification-guided
+// sleeps, restart backoffs, sample intervals) go to an overflow 4-ary heap.
+// Events can be scheduled either as closures (At/After) or — on hot paths —
+// closure-free via a Handler interface plus a payload value and word
+// (AtEvent/AfterEvent).
 package sim
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Time is a simulation timestamp in clock cycles.
@@ -34,10 +39,17 @@ type Handler interface {
 	OnEvent(arg any, word uint64)
 }
 
-// eventSlot is one entry of the event slab. A slot is either queued
-// (pos >= 0 names its heap position), or free (pos == -1, linked through
-// next). gen increments every time the slot is released, so a stale
-// EventID held by a caller can never cancel the slot's next tenant.
+// Slot locations: which structure a slot currently belongs to.
+const (
+	locFree  int8 = iota // on the free list (next = free-list link)
+	locWheel             // chained in a near-horizon bucket (next = chain link)
+	locHeap              // in the overflow heap (pos = heap index)
+)
+
+// eventSlot is one entry of the event slab. loc names the structure the
+// slot currently lives in; gen increments every time the slot is released,
+// so a stale EventID held by a caller can never cancel the slot's next
+// tenant.
 type eventSlot struct {
 	at   Time
 	seq  uint64 // insertion order; breaks ties so same-cycle events run FIFO
@@ -46,8 +58,9 @@ type eventSlot struct {
 	arg  any
 	word uint64
 	gen  uint32
-	pos  int32 // heap index; -1 when free
-	next int32 // free-list link; -1 ends the list
+	loc  int8
+	pos  int32 // heap index (locHeap only)
+	next int32 // free-list or bucket-chain link; -1 ends the list
 }
 
 // EventID identifies a scheduled event so it can be cancelled. It is a
@@ -61,33 +74,120 @@ type EventID struct {
 // Zero returns true for the zero EventID (no event).
 func (id EventID) Zero() bool { return id.slot == 0 }
 
+// DefaultWheelWindow is the near-horizon window of NewEngine: delays
+// shorter than this many cycles get O(1) wheel scheduling; longer timers go
+// to the overflow heap. 4096 covers every protocol-level delay of the
+// default machine (NoC traversals, cache/memory latencies, occupancy
+// windows, fixed backoffs) while leaving only rare long sleeps
+// (notification-guided waits, randomized restart backoffs) on the heap.
+const DefaultWheelWindow Time = 4096
+
+// bucket is one wheel slot: an intrusive FIFO chain of event-slot indices.
+// All events in a bucket share one absolute firing time (see the horizon
+// invariant in Engine), and the chain is in seq order by construction.
+type bucket struct {
+	head, tail int32 // -1 when empty
+}
+
 // Engine is the discrete-event simulation core. The zero value is not
 // usable; construct with NewEngine.
+//
+// Horizon invariant: every event in the wheel satisfies
+// now <= at < now+window. Distinct times in a window-sized range map to
+// distinct buckets (at mod window), so each bucket holds events of exactly
+// one absolute time; events at or beyond the horizon live in the overflow
+// heap and are popped directly from there when their turn comes (no
+// migration pass is needed for correctness — the next event overall is the
+// (at, seq)-minimum of the earliest wheel bucket's head and the heap top).
 type Engine struct {
 	now     Time
 	seq     uint64
 	slots   []eventSlot
-	free    int32   // head of the free-slot list; -1 when empty
-	heap    []int32 // 4-ary heap of slab indices, ordered by (at, seq)
+	free    int32 // head of the free-slot list; -1 when empty
 	nRun    uint64
 	stopped bool
+
+	// Near-horizon wheel.
+	window  Time     // power of two
+	mask    uint64   // window - 1
+	buckets []bucket // len == window; bucket b holds the time ≡ b (mod window)
+	occ     []uint64 // occupancy bitmap over buckets (window/64 words)
+	nWheel  int      // live events currently in the wheel
+
+	// Overflow level: 4-ary heap of slab indices, ordered by (at, seq),
+	// holding events scheduled at or beyond the wheel horizon.
+	heap []int32
 }
 
-// NewEngine returns an engine with the clock at cycle 0.
-func NewEngine() *Engine {
-	return &Engine{free: -1}
+// NewEngine returns an engine with the clock at cycle 0 and the default
+// near-horizon window.
+func NewEngine() *Engine { return NewEngineWindow(DefaultWheelWindow) }
+
+// NewEngineWindow returns an engine whose near-horizon wheel spans window
+// cycles (delays < window schedule O(1); longer delays go to the overflow
+// heap). window must be a power of two and at least 64. Event ordering is
+// independent of the window — it only moves the wheel/heap split — so any
+// window produces bit-identical simulations.
+func NewEngineWindow(window Time) *Engine {
+	if window < 64 || window&(window-1) != 0 {
+		panic(fmt.Sprintf("sim: wheel window %d is not a power of two >= 64", window))
+	}
+	e := &Engine{
+		free:    -1,
+		window:  window,
+		mask:    uint64(window - 1),
+		buckets: make([]bucket, window),
+		occ:     make([]uint64, window/64),
+	}
+	for i := range e.buckets {
+		e.buckets[i] = bucket{head: -1, tail: -1}
+	}
+	return e
 }
+
+// Window returns the near-horizon wheel span in cycles.
+func (e *Engine) Window() Time { return e.window }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 
-// Processed returns the number of events executed so far.
+// Processed returns the number of events executed so far. Cancelled events
+// are never counted; Reset rewinds the count to zero.
 func (e *Engine) Processed() uint64 { return e.nRun }
 
-// Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of events currently scheduled: live events in
+// the wheel plus live events in the overflow heap. Free slab slots and
+// cancelled events are not counted — the slab may be much larger than
+// Pending after a burst.
+func (e *Engine) Pending() int { return e.nWheel + len(e.heap) }
 
-// schedule grabs a slot, fills it, and pushes it onto the heap.
+// Reset returns the engine to the state NewEngine left it in — clock at
+// zero, no pending events, zero Processed count, not stopped — while
+// retaining the slot slab, wheel, and heap capacity for reuse. Every slot
+// that held a queued event has its generation bumped, so EventIDs issued
+// before the Reset can never cancel events scheduled after it.
+func (e *Engine) Reset() {
+	for i := range e.slots {
+		if e.slots[i].loc != locFree {
+			e.release(int32(i))
+		}
+	}
+	for i := range e.buckets {
+		e.buckets[i] = bucket{head: -1, tail: -1}
+	}
+	for i := range e.occ {
+		e.occ[i] = 0
+	}
+	e.heap = e.heap[:0]
+	e.nWheel = 0
+	e.now = 0
+	e.seq = 0
+	e.nRun = 0
+	e.stopped = false
+}
+
+// schedule grabs a slot, fills it, and queues it on the wheel (near
+// horizon) or the overflow heap (at or beyond it).
 func (e *Engine) schedule(t Time, fn Event, h Handler, arg any, word uint64) EventID {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
@@ -108,9 +208,27 @@ func (e *Engine) schedule(t Time, fn Event, h Handler, arg any, word uint64) Eve
 	s.arg = arg
 	s.word = word
 	e.seq++
-	s.pos = int32(len(e.heap))
-	e.heap = append(e.heap, idx)
-	e.siftUp(int(s.pos))
+	if t-e.now < e.window {
+		// Near horizon: append to the bucket for t. seq is globally
+		// monotonic and the bucket holds a single absolute time, so the
+		// chain stays seq-sorted without any comparison.
+		s.loc = locWheel
+		s.next = -1
+		b := &e.buckets[uint64(t)&e.mask]
+		if b.head < 0 {
+			b.head = idx
+			e.occ[(uint64(t)&e.mask)>>6] |= 1 << (uint64(t) & 63)
+		} else {
+			e.slots[b.tail].next = idx
+		}
+		b.tail = idx
+		e.nWheel++
+	} else {
+		s.loc = locHeap
+		s.pos = int32(len(e.heap))
+		e.heap = append(e.heap, idx)
+		e.siftUp(int(s.pos))
+	}
 	return EventID{slot: idx + 1, gen: s.gen}
 }
 
@@ -149,12 +267,42 @@ func (e *Engine) Cancel(id EventID) bool {
 		return false
 	}
 	s := &e.slots[idx]
-	if s.gen != id.gen || s.pos < 0 {
+	if s.gen != id.gen || s.loc == locFree {
 		return false
 	}
-	e.removeAt(int(s.pos))
+	switch s.loc {
+	case locWheel:
+		e.unchain(idx)
+	case locHeap:
+		e.removeAt(int(s.pos))
+	}
 	e.release(idx)
 	return true
+}
+
+// unchain unlinks a wheel event from its bucket. Buckets hold the handful
+// of events that fire on one exact cycle, so the chain walk is short.
+func (e *Engine) unchain(idx int32) {
+	s := &e.slots[idx]
+	bi := uint64(s.at) & e.mask
+	b := &e.buckets[bi]
+	if b.head == idx {
+		b.head = s.next
+		if b.head < 0 {
+			b.tail = -1
+			e.occ[bi>>6] &^= 1 << (bi & 63)
+		}
+	} else {
+		prev := b.head
+		for e.slots[prev].next != idx {
+			prev = e.slots[prev].next
+		}
+		e.slots[prev].next = s.next
+		if b.tail == idx {
+			b.tail = prev
+		}
+	}
+	e.nWheel--
 }
 
 // release returns a slot to the free list, bumping its generation so any
@@ -163,7 +311,7 @@ func (e *Engine) Cancel(id EventID) bool {
 func (e *Engine) release(idx int32) {
 	s := &e.slots[idx]
 	s.gen++
-	s.pos = -1
+	s.loc = locFree
 	s.fn = nil
 	s.h = nil
 	s.arg = nil
@@ -171,14 +319,77 @@ func (e *Engine) release(idx int32) {
 	e.free = idx
 }
 
-// Step runs the single next event. It returns false if the queue is empty
-// or the engine has been stopped.
-func (e *Engine) Step() bool {
-	if e.stopped || len(e.heap) == 0 {
-		return false
+// scanWheel returns the head slot of the earliest non-empty bucket, or -1.
+// Scanning starts at now's bucket and wraps: bucket (now+k) mod window
+// holds exactly the events at time now+k (horizon invariant), so the first
+// occupied bucket in scan order is the earliest wheel time, and its chain
+// head is that time's lowest seq.
+func (e *Engine) scanWheel() int32 {
+	if e.nWheel == 0 {
+		return -1
 	}
-	idx := e.heap[0]
-	e.removeAt(0)
+	start := uint64(e.now) & e.mask
+	wi := int(start >> 6)
+	nw := len(e.occ)
+	// First word: ignore buckets before now's position. On wrap-around the
+	// high bits of this word are known empty (they were checked first), so
+	// re-reading the full word is safe.
+	word := e.occ[wi] &^ ((1 << (start & 63)) - 1)
+	for i := 0; ; i++ {
+		if word != 0 {
+			b := uint64(wi)<<6 + uint64(bits.TrailingZeros64(word))
+			return e.buckets[b].head
+		}
+		if i == nw {
+			return -1
+		}
+		wi++
+		if wi == nw {
+			wi = 0
+		}
+		word = e.occ[wi]
+	}
+}
+
+// nextEvent returns the slab index of the globally earliest (at, seq)
+// event, or -1 when nothing is pending. Wheel-vs-heap ties at the same
+// cycle are broken by seq, preserving cross-level FIFO: an event that went
+// to the heap long ago still runs before a same-cycle event scheduled
+// later into the wheel.
+func (e *Engine) nextEvent() int32 {
+	w := e.scanWheel()
+	if len(e.heap) == 0 {
+		return w
+	}
+	h := e.heap[0]
+	if w < 0 || e.before(h, w) {
+		return h
+	}
+	return w
+}
+
+// popSlot removes a queued slot from its structure (without releasing it).
+func (e *Engine) popSlot(idx int32) {
+	s := &e.slots[idx]
+	if s.loc == locWheel {
+		// The popped slot is always its bucket's head (the scan returns
+		// heads, and heads are the chain's minimum seq).
+		bi := uint64(s.at) & e.mask
+		b := &e.buckets[bi]
+		b.head = s.next
+		if b.head < 0 {
+			b.tail = -1
+			e.occ[bi>>6] &^= 1 << (bi & 63)
+		}
+		e.nWheel--
+	} else {
+		e.removeAt(int(s.pos))
+	}
+}
+
+// runSlot fires the event in slot idx: advance the clock, release the slot
+// (so the callback can recycle it), then run the callback.
+func (e *Engine) runSlot(idx int32) {
 	s := &e.slots[idx]
 	e.now = s.at
 	e.nRun++
@@ -192,6 +403,20 @@ func (e *Engine) Step() bool {
 	} else {
 		h.OnEvent(arg, word)
 	}
+}
+
+// Step runs the single next event. It returns false if the queue is empty
+// or the engine has been stopped.
+func (e *Engine) Step() bool {
+	if e.stopped {
+		return false
+	}
+	idx := e.nextEvent()
+	if idx < 0 {
+		return false
+	}
+	e.popSlot(idx)
+	e.runSlot(idx)
 	return true
 }
 
@@ -199,12 +424,17 @@ func (e *Engine) Step() bool {
 // passes limit (use Infinity for no limit). It returns the cycle at which it
 // stopped.
 func (e *Engine) Run(limit Time) Time {
-	for !e.stopped && len(e.heap) > 0 {
-		if e.slots[e.heap[0]].at > limit {
+	for !e.stopped {
+		idx := e.nextEvent()
+		if idx < 0 {
+			break
+		}
+		if e.slots[idx].at > limit {
 			e.now = limit
 			break
 		}
-		e.Step()
+		e.popSlot(idx)
+		e.runSlot(idx)
 	}
 	return e.now
 }
@@ -215,14 +445,14 @@ func (e *Engine) Stop() { e.stopped = true }
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
 
-// ---- 4-ary heap ----------------------------------------------------------
+// ---- overflow heap -------------------------------------------------------
 //
 // The heap orders slot indices by (at, seq); since seq is unique, this is a
 // strict total order and pop order is independent of heap shape — the exact
 // property that keeps golden determinism files stable across queue
 // implementations. A 4-ary layout halves the tree depth of a binary heap,
 // trading slightly more comparisons per sift-down for many fewer cache-line
-// touches on the sift-up-dominated workloads a simulator produces.
+// touches. Only long timers reach it, so its size stays small.
 
 // before reports whether slot a fires before slot b.
 func (e *Engine) before(a, b int32) bool {
@@ -279,7 +509,7 @@ func (e *Engine) siftDown(pos int) {
 }
 
 // removeAt deletes the element at heap position pos, restoring the heap
-// property. The removed slot's pos is left for the caller to reset.
+// property. The removed slot's location is left for the caller to reset.
 func (e *Engine) removeAt(pos int) {
 	n := len(e.heap) - 1
 	moved := e.heap[n]

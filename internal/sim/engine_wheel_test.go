@@ -1,0 +1,411 @@
+package sim
+
+// Time-wheel certification: the two-level scheduler (near-horizon wheel +
+// overflow heap) against the container/heap reference model, with command
+// streams that force cross-level behaviour — delays on both sides of the
+// horizon, events migrating conceptually from "far" to "near" as the clock
+// advances, cancels in both levels, and slot ABA across levels. The plain
+// reference-model test (engine_recycle_test.go) keeps delays tiny and so
+// exercises only the wheel; these tests are the other half.
+
+import "testing"
+
+// TestEngineWindowValidation checks the NewEngineWindow contract.
+func TestEngineWindowValidation(t *testing.T) {
+	for _, bad := range []Time{0, 1, 32, 63, 65, 100, 4095} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEngineWindow(%d) did not panic", bad)
+				}
+			}()
+			NewEngineWindow(bad)
+		}()
+	}
+	for _, good := range []Time{64, 128, 4096} {
+		if w := NewEngineWindow(good).Window(); w != good {
+			t.Errorf("NewEngineWindow(%d).Window() = %d", good, w)
+		}
+	}
+}
+
+// TestEngineMatchesReferenceCrossLevel replays random schedule/cancel/pop
+// streams whose delays straddle the wheel horizon (window 64, delays up to
+// 4x that), against the container/heap reference. This certifies that the
+// wheel/heap split — including events that sit in the heap while their time
+// enters the near window — never changes the (time, seq) pop order.
+func TestEngineMatchesReferenceCrossLevel(t *testing.T) {
+	const window = 64
+	for trial := 0; trial < 100; trial++ {
+		rng := NewRNG(uint64(trial) + 7000)
+		e := NewEngineWindow(window)
+		ref := &refQueue{}
+
+		var engFired, refFired []int
+		type pair struct {
+			engID EventID
+			refEv *refEvent
+		}
+		var live []pair
+		nextID := 0
+
+		for step := 0; step < 600; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5: // schedule across both levels, biased toward ties
+				var d Time
+				switch rng.Intn(4) {
+				case 0:
+					d = Time(rng.Intn(8)) // deep in the wheel
+				case 1:
+					d = window - 2 + Time(rng.Intn(5)) // horizon straddle
+				default:
+					d = Time(rng.Intn(4 * window)) // anywhere
+				}
+				at := e.Now() + d
+				id := nextID
+				nextID++
+				engID := e.At(at, func() { engFired = append(engFired, id) })
+				refEv := ref.schedule(at, id)
+				live = append(live, pair{engID, refEv})
+			case op < 7: // cancel a random (possibly dead) ID, either level
+				if len(live) == 0 {
+					continue
+				}
+				p := live[rng.Intn(len(live))]
+				got := e.Cancel(p.engID)
+				want := ref.cancel(p.refEv)
+				if got != want {
+					t.Fatalf("trial %d step %d: Cancel = %v, reference = %v", trial, step, got, want)
+				}
+			default: // pop
+				engOK := e.Step()
+				refID, refOK := ref.pop()
+				if engOK != refOK {
+					t.Fatalf("trial %d step %d: Step = %v, reference pop = %v", trial, step, engOK, refOK)
+				}
+				if refOK {
+					if len(engFired) == 0 || engFired[len(engFired)-1] != refID {
+						t.Fatalf("trial %d step %d: engine fired %v, reference fired %d",
+							trial, step, engFired[len(engFired)-1:], refID)
+					}
+					refFired = append(refFired, refID)
+				}
+			}
+			if p, r := e.Pending(), len(ref.h); p != r {
+				t.Fatalf("trial %d step %d: Pending = %d, reference holds %d", trial, step, p, r)
+			}
+		}
+		for e.Step() {
+		}
+		for {
+			id, ok := ref.pop()
+			if !ok {
+				break
+			}
+			refFired = append(refFired, id)
+		}
+		if len(engFired) != len(refFired) {
+			t.Fatalf("trial %d: engine fired %d events, reference %d", trial, len(engFired), len(refFired))
+		}
+		for i := range refFired {
+			if engFired[i] != refFired[i] {
+				t.Fatalf("trial %d: divergence at pop %d: engine %d, reference %d",
+					trial, i, engFired[i], refFired[i])
+			}
+		}
+	}
+}
+
+// TestEngineHorizonBoundary pins the split rule: at schedule time, delay
+// window-1 is the last wheel slot and delay window is the first heap
+// resident — and the seam is invisible to ordering. In particular, two
+// events at the same absolute cycle living in *different* levels (one
+// scheduled far ahead into the heap, one scheduled later into the wheel
+// after the clock advanced) must still fire in seq (schedule) order.
+func TestEngineHorizonBoundary(t *testing.T) {
+	e := NewEngineWindow(64)
+	var fired []int
+
+	// d = window lands in the heap; d = window-1 in the wheel. The heap
+	// event is scheduled FIRST but fires LAST (later cycle) — and vice
+	// versa for seq order at equal cycles below.
+	e.After(64, func() { fired = append(fired, 1) })
+	e.After(63, func() { fired = append(fired, 0) })
+	e.Run(Infinity)
+	if len(fired) != 2 || fired[0] != 0 || fired[1] != 1 {
+		t.Fatalf("boundary events fired %v, want [0 1]", fired)
+	}
+
+	// Same-cycle, cross-level seq tie: A goes to the heap (beyond horizon),
+	// the clock advances to bring cycle 200 inside the window, then B is
+	// scheduled at the same cycle into the wheel. A has the lower seq and
+	// must fire first even though it sits in the other structure.
+	e2 := NewEngineWindow(64)
+	fired = fired[:0]
+	e2.At(200, func() { fired = append(fired, 0) }) // heap (200 - 0 >= 64)
+	e2.At(150, func() {                             // wheel event advancing the clock
+		e2.At(200, func() { fired = append(fired, 1) }) // wheel (200 - 150 < 64)
+	})
+	e2.Run(Infinity)
+	if len(fired) != 2 || fired[0] != 0 || fired[1] != 1 {
+		t.Fatalf("cross-level same-cycle events fired %v, want [0 1]", fired)
+	}
+}
+
+// TestEngineSameCycleFIFOAcrossRollover schedules a burst of same-cycle
+// events at a time whose bucket index wraps around the wheel (at mod window
+// < now mod window) and asserts strict FIFO. The wrap means the occupancy
+// scan crosses the bitmap seam; FIFO within the bucket must survive it.
+func TestEngineSameCycleFIFOAcrossRollover(t *testing.T) {
+	const window = 64
+	e := NewEngineWindow(window)
+	var fired []int
+
+	// Move the clock to window-2 = 62, then schedule the burst at cycle
+	// window+3 = 67, whose bucket index is 3 — behind now's bucket 62 in
+	// the array, ahead of it in time.
+	e.At(window-2, func() {
+		for i := 0; i < 8; i++ {
+			id := i
+			e.At(window+3, func() { fired = append(fired, id) })
+		}
+	})
+	e.Run(Infinity)
+	if len(fired) != 8 {
+		t.Fatalf("fired %d events, want 8", len(fired))
+	}
+	for i, id := range fired {
+		if id != i {
+			t.Fatalf("rollover burst fired out of FIFO order: %v", fired)
+		}
+	}
+}
+
+// TestEngineCancelOverflowLevel exercises Cancel for events resident in the
+// overflow heap, including middle-of-heap removal and the generation (ABA)
+// guard across a slot that migrates levels on reuse.
+func TestEngineCancelOverflowLevel(t *testing.T) {
+	e := NewEngineWindow(64)
+	fired := map[int]bool{}
+	var ids []EventID
+	// A spread of heap residents (delays >= window) around wheel residents.
+	for i := 0; i < 10; i++ {
+		id := i
+		ids = append(ids, e.After(Time(64+i*37), func() { fired[id] = true }))
+	}
+	// Cancel a middle heap element and the root-most one.
+	if !e.Cancel(ids[5]) || !e.Cancel(ids[0]) {
+		t.Fatal("Cancel of live overflow events returned false")
+	}
+	if e.Cancel(ids[5]) {
+		t.Fatal("second Cancel of the same overflow event returned true")
+	}
+	if e.Pending() != 8 {
+		t.Fatalf("Pending = %d after cancelling 2 of 10, want 8", e.Pending())
+	}
+	e.Run(Infinity)
+	for i := 0; i < 10; i++ {
+		want := i != 0 && i != 5
+		if fired[i] != want {
+			t.Fatalf("event %d fired=%v, want %v", i, fired[i], want)
+		}
+	}
+
+	// ABA across levels: a stale ID for a fired heap event must not cancel
+	// the wheel event now occupying the recycled slot.
+	e2 := NewEngineWindow(64)
+	stale := e2.After(100, func() {}) // heap
+	e2.Run(Infinity)                  // fires, slot freed
+	ran := false
+	fresh := e2.After(1, func() { ran = true }) // wheel, reuses the slot
+	if fresh.slot != stale.slot {
+		t.Fatalf("expected slot reuse across levels: stale %d, fresh %d", stale.slot, fresh.slot)
+	}
+	if e2.Cancel(stale) {
+		t.Fatal("stale cross-level EventID cancelled the slot's new tenant")
+	}
+	e2.Run(Infinity)
+	if !ran {
+		t.Fatal("recycled-slot wheel event did not run")
+	}
+}
+
+// TestEnginePendingProcessed is the focused audit of the two counters under
+// the wheel: Pending counts live events only (across both levels, free slab
+// slots excluded), Processed counts fired events only (cancelled events are
+// not processed), and Reset rewinds both.
+func TestEnginePendingProcessed(t *testing.T) {
+	e := NewEngineWindow(64)
+	if e.Pending() != 0 || e.Processed() != 0 {
+		t.Fatalf("fresh engine: Pending=%d Processed=%d, want 0/0", e.Pending(), e.Processed())
+	}
+	idWheel := e.After(3, func() {})
+	e.After(5, func() {})
+	idHeap := e.After(500, func() {}) // overflow level
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d after 3 schedules, want 3", e.Pending())
+	}
+	e.Cancel(idWheel)
+	e.Cancel(idHeap)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after cancelling one event per level, want 1", e.Pending())
+	}
+	// The slab now holds free slots; they must not be counted.
+	if !e.Step() {
+		t.Fatal("Step found nothing despite Pending = 1")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after draining, want 0 (free slots not counted)", e.Pending())
+	}
+	if e.Processed() != 1 {
+		t.Fatalf("Processed = %d, want 1 (cancelled events are not processed)", e.Processed())
+	}
+	e.After(700, func() {})
+	e.Reset()
+	if e.Pending() != 0 || e.Processed() != 0 || e.Now() != 0 {
+		t.Fatalf("after Reset: Pending=%d Processed=%d Now=%d, want 0/0/0",
+			e.Pending(), e.Processed(), e.Now())
+	}
+}
+
+// TestEngineResetReuse certifies the arena property: a Reset engine behaves
+// bit-identically to a fresh one, stale pre-Reset EventIDs are inert, and
+// the reset itself (plus the subsequent steady state) allocates nothing.
+func TestEngineResetReuse(t *testing.T) {
+	workload := func(e *Engine) []Time {
+		var fires []Time
+		var step func()
+		n := 0
+		step = func() {
+			fires = append(fires, e.Now())
+			if n++; n < 40 {
+				e.After(Time(n%9)+1, step)
+				if n%5 == 0 {
+					e.After(300, step) // overflow-level traffic
+					n++
+				}
+			}
+		}
+		e.After(2, step)
+		e.Run(2000)
+		return fires
+	}
+
+	fresh := NewEngineWindow(64)
+	want := workload(fresh)
+
+	reused := NewEngineWindow(64)
+	// Dirty the engine: pending events in both levels, then Reset.
+	reused.After(1, func() { t.Fatal("pre-Reset event survived Reset") })
+	stale := reused.After(900, func() { t.Fatal("pre-Reset overflow event survived Reset") })
+	reused.Reset()
+	if reused.Cancel(stale) {
+		t.Fatal("stale pre-Reset EventID cancelled something after Reset")
+	}
+	got := workload(reused)
+	if len(got) != len(want) {
+		t.Fatalf("reused engine fired %d events, fresh fired %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire %d: reused at cycle %d, fresh at cycle %d", i, got[i], want[i])
+		}
+	}
+
+	// Reset + re-run on a warmed slab must be allocation-free.
+	h := &countingHandler{}
+	e := NewEngine()
+	for i := 0; i < 64; i++ {
+		e.AfterEvent(Time(i%7), h, nil, 0)
+	}
+	e.Run(Infinity)
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Reset()
+		for i := 0; i < 64; i++ {
+			e.AfterEvent(Time(i%7), h, nil, 0)
+		}
+		e.Run(Infinity)
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+rerun allocated %.1f objects per round, want 0", allocs)
+	}
+}
+
+// TestEngineWheelFuzz is the fuzz-style property test: random windows,
+// random mixed-level command streams including Resets, always checked
+// against a reference rebuilt at each Reset. It runs under -race in CI
+// (the engine is single-goroutine; the race run guards against unsynchronized
+// global state sneaking into the scheduler).
+func TestEngineWheelFuzz(t *testing.T) {
+	windows := []Time{64, 128, 256}
+	for trial := 0; trial < 60; trial++ {
+		window := windows[trial%len(windows)]
+		rng := NewRNG(uint64(trial)*13 + 99)
+		e := NewEngineWindow(window)
+		ref := &refQueue{}
+
+		var engFired, refFired []int
+		type pair struct {
+			engID EventID
+			refEv *refEvent
+		}
+		var live []pair
+		nextID := 0
+
+		for step := 0; step < 500; step++ {
+			switch op := rng.Intn(20); {
+			case op < 9:
+				at := e.Now() + Time(rng.Uint64n(uint64(3*window)))
+				id := nextID
+				nextID++
+				engID := e.At(at, func() { engFired = append(engFired, id) })
+				live = append(live, pair{engID, ref.schedule(at, id)})
+			case op < 12:
+				if len(live) == 0 {
+					continue
+				}
+				p := live[rng.Intn(len(live))]
+				if got, want := e.Cancel(p.engID), ref.cancel(p.refEv); got != want {
+					t.Fatalf("trial %d step %d: Cancel = %v, reference = %v", trial, step, got, want)
+				}
+			case op == 19 && step > 0 && step%97 == 0: // rare full Reset
+				e.Reset()
+				*ref = refQueue{}
+				live = live[:0]
+				engFired, refFired = engFired[:0], refFired[:0]
+			default:
+				engOK := e.Step()
+				refID, refOK := ref.pop()
+				if engOK != refOK {
+					t.Fatalf("trial %d step %d: Step = %v, reference = %v", trial, step, engOK, refOK)
+				}
+				if refOK {
+					if engFired[len(engFired)-1] != refID {
+						t.Fatalf("trial %d step %d: engine fired %d, reference %d",
+							trial, step, engFired[len(engFired)-1], refID)
+					}
+					refFired = append(refFired, refID)
+				}
+			}
+		}
+		for e.Step() {
+		}
+		for {
+			id, ok := ref.pop()
+			if !ok {
+				break
+			}
+			refFired = append(refFired, id)
+		}
+		if len(engFired) != len(refFired) {
+			t.Fatalf("trial %d (window %d): engine fired %d, reference %d",
+				trial, window, len(engFired), len(refFired))
+		}
+		for i := range refFired {
+			if engFired[i] != refFired[i] {
+				t.Fatalf("trial %d (window %d): divergence at %d: %d vs %d",
+					trial, window, i, engFired[i], refFired[i])
+			}
+		}
+	}
+}

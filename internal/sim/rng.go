@@ -11,16 +11,24 @@ type RNG struct {
 // NewRNG returns a generator seeded with seed. A zero seed is remapped to a
 // fixed non-zero constant because xorshift has an all-zero fixed point.
 func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed re-initializes the generator in place, exactly as NewRNG(seed)
+// would: an RNG reused across simulation arenas produces the same stream a
+// freshly constructed one does.
+func (r *RNG) Reseed(seed uint64) {
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15
 	}
-	r := &RNG{state: seed}
+	r.state = seed
 	// Warm up so that small consecutive seeds do not yield correlated
 	// first outputs.
 	for i := 0; i < 4; i++ {
 		r.Uint64()
 	}
-	return r
 }
 
 // Uint64 returns the next 64-bit pseudo-random value.
