@@ -2,7 +2,7 @@ GO ?= go
 BENCH ?= BenchmarkSweepParallelism
 BENCH_COUNT ?= 8
 
-.PHONY: all test race bench bench-baseline bench-compare bench-snapshot golden clean
+.PHONY: all test lint race bench bench-baseline bench-compare bench-snapshot golden clean
 
 all: test
 
@@ -11,6 +11,13 @@ test:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+
+# Static analysis: stock go vet plus punovet, the project's own analyzers
+# (maprange, wallclock, hotalloc, handlerfunc) that mechanize the
+# determinism and zero-allocation invariants. See DESIGN.md.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/punovet ./...
 
 # Race-detector pass over everything; certifies the parallel sweep runner.
 race:

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRealTreeExitsClean is the smoke half of the acceptance criterion: the
+// repository's own packages produce no findings and run exits nil.
+func TestRealTreeExitsClean(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"repro/..."}, &out, &errb); err != nil {
+		t.Fatalf("punovet on the real tree failed: %v\nstdout:\n%s", err, out.String())
+	}
+	if out.String() != "" {
+		t.Fatalf("punovet printed findings on a clean tree:\n%s", out.String())
+	}
+}
+
+// TestBadFixtureExitsNonZero drives run against a fixture package riddled
+// with violations: findings print in file:line: analyzer: message form and
+// the command returns an error (exit 1 in main).
+func TestBadFixtureExitsNonZero(t *testing.T) {
+	var out, errb strings.Builder
+	err := run([]string{"repro/internal/lint/testdata/src/maprange"}, &out, &errb)
+	if err == nil {
+		t.Fatalf("punovet accepted a bad fixture; output:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "finding") {
+		t.Fatalf("error does not count findings: %v", err)
+	}
+	if !strings.Contains(out.String(), "maprange.go") ||
+		!strings.Contains(out.String(), ": maprange: ") {
+		t.Fatalf("findings not in file:line: analyzer: message form:\n%s", out.String())
+	}
+}
+
+func TestUsageListsAnalyzers(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-h"}, &out, &errb); err == nil {
+		t.Fatal("-h should return flag.ErrHelp")
+	}
+	for _, name := range []string{"maprange", "wallclock", "hotalloc", "handlerfunc"} {
+		if !strings.Contains(errb.String(), name) {
+			t.Errorf("usage does not mention %s:\n%s", name, errb.String())
+		}
+	}
+}

@@ -15,10 +15,14 @@ import "repro/internal/sim"
 // counter to be at least ConfidenceMin. Without the negative feedback, a
 // load site that is only occasionally followed by a store (common in
 // irregular code) would be promoted forever after one observation.
+// Tracked loads live in a flat, insertion-ordered slice with a map used
+// only as an index, so the replacement scan never iterates a map and its
+// victim choice is order-independent by construction.
 type RMWPred struct {
 	Capacity      int
 	ConfidenceMin uint8
-	table         map[loadPC]*rmwEntry
+	index         map[loadPC]int // loadPC -> position in entries
+	entries       []rmwEntry
 	seq           uint64
 
 	// Statistics.
@@ -35,14 +39,15 @@ type loadPC struct {
 }
 
 type rmwEntry struct {
-	confidence uint8 // 2-bit saturating
+	pc         loadPC // key, so eviction can fix the index
+	confidence uint8  // 2-bit saturating
 	seq        uint64
 }
 
 // NewRMWPred returns a predictor tracking up to 256 loads, the
 // configuration in the paper's evaluation.
 func NewRMWPred() *RMWPred {
-	return &RMWPred{Capacity: 256, ConfidenceMin: 2, table: make(map[loadPC]*rmwEntry)}
+	return &RMWPred{Capacity: 256, ConfidenceMin: 2, index: make(map[loadPC]int)}
 }
 
 // Name implements Manager.
@@ -58,8 +63,8 @@ func (r *RMWPred) RestartDelay(*sim.RNG, int) sim.Time { return FixedBackoffCycl
 
 // PromoteLoad implements Manager.
 func (r *RMWPred) PromoteLoad(staticID, opIdx int) bool {
-	e, ok := r.table[loadPC{staticID, opIdx}]
-	if ok && e.confidence >= r.ConfidenceMin {
+	i, ok := r.index[loadPC{staticID, opIdx}]
+	if ok && r.entries[i].confidence >= r.ConfidenceMin {
 		r.Promotions++
 		return true
 	}
@@ -72,33 +77,43 @@ func (r *RMWPred) ObserveRMW(staticID, opIdx int) {
 	pc := loadPC{staticID, opIdx}
 	r.Trainings++
 	r.seq++
-	if e, ok := r.table[pc]; ok {
+	if i, ok := r.index[pc]; ok {
+		e := &r.entries[i]
 		if e.confidence < 3 {
 			e.confidence++
 		}
 		e.seq = r.seq
 		return
 	}
-	if len(r.table) >= r.Capacity {
-		// FIFO-ish replacement: drop the stalest entry.
-		var victim loadPC
+	if len(r.entries) >= r.Capacity {
+		// FIFO-ish replacement: drop the stalest entry. seq values are
+		// unique (monotonic), so the strict < scan over the flat slice
+		// picks one well-defined victim.
+		victim := 0
 		oldest := ^uint64(0)
-		for k, e := range r.table {
-			if e.seq < oldest {
-				oldest = e.seq
-				victim = k
+		for i := range r.entries {
+			if r.entries[i].seq < oldest {
+				oldest = r.entries[i].seq
+				victim = i
 			}
 		}
-		delete(r.table, victim)
+		delete(r.index, r.entries[victim].pc)
+		last := len(r.entries) - 1
+		if victim != last {
+			r.entries[victim] = r.entries[last]
+			r.index[r.entries[victim].pc] = victim
+		}
+		r.entries = r.entries[:last]
 	}
-	r.table[pc] = &rmwEntry{confidence: 2, seq: r.seq}
+	r.index[pc] = len(r.entries)
+	r.entries = append(r.entries, rmwEntry{pc: pc, confidence: 2, seq: r.seq})
 }
 
 // ObserveNonRMW implements Manager: a promoted load's line was never
 // stored before commit; lower the site's confidence.
 func (r *RMWPred) ObserveNonRMW(staticID, opIdx int) {
-	if e, ok := r.table[loadPC{staticID, opIdx}]; ok && e.confidence > 0 {
-		e.confidence--
+	if i, ok := r.index[loadPC{staticID, opIdx}]; ok && r.entries[i].confidence > 0 {
+		r.entries[i].confidence--
 		r.Demotions++
 	}
 }
@@ -107,4 +122,4 @@ func (r *RMWPred) ObserveNonRMW(staticID, opIdx int) {
 func (r *RMWPred) Notify() bool { return false }
 
 // Len returns the number of tracked entries.
-func (r *RMWPred) Len() int { return len(r.table) }
+func (r *RMWPred) Len() int { return len(r.entries) }

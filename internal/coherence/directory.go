@@ -3,6 +3,7 @@ package coherence
 import (
 	"fmt"
 
+	"repro/internal/detmap"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -182,9 +183,12 @@ func (d *Directory) Reset(pred Predictor) {
 	d.pred = pred
 	d.DirLatency = 1
 	d.QueueCap = d.nodes
-	for l, e := range d.entries {
+	// Walk the live lines in sorted order so the free list — and therefore
+	// the *e aliasing pattern of the next run's entries — is reproducible
+	// byte for byte across runs that reuse this directory.
+	for _, l := range detmap.Keys(d.entries) {
+		d.freeEntries = append(d.freeEntries, d.entries[l])
 		delete(d.entries, l)
-		d.freeEntries = append(d.freeEntries, e)
 	}
 	d.stats = Stats{}
 }
@@ -199,6 +203,7 @@ func (d *Directory) ResetStats() { d.stats = Stats{} }
 // machine's quiescence check).
 func (d *Directory) BusyLines() int {
 	n := 0
+	//puno:unordered — pure count; the sum is the same in any visit order
 	for _, e := range d.entries {
 		if e.busy {
 			n++
@@ -220,10 +225,12 @@ type BusyInfo struct {
 	Pending    int
 }
 
-// BusyEntries returns diagnostics for every blocked entry.
+// BusyEntries returns diagnostics for every blocked entry, in ascending
+// line order so hang dumps are stable across runs.
 func (d *Directory) BusyEntries() []BusyInfo {
 	var out []BusyInfo
-	for l, e := range d.entries {
+	for _, l := range detmap.Keys(d.entries) {
+		e := d.entries[l]
 		if !e.busy {
 			continue
 		}
@@ -326,6 +333,8 @@ func (d *Directory) observe(m *Msg) {
 // send fills a pooled message with m and hands it to the environment; the
 // literal callers build stays on the stack, so the only message object per
 // send is the recycled one.
+//
+//puno:hot
 func (d *Directory) send(delay sim.Time, m Msg) {
 	msg := d.env.NewMsg()
 	*msg = m
@@ -342,6 +351,8 @@ func (d *Directory) nackBusy(m *Msg) {
 
 // park queues a copy of the request on a busy entry, or NackBusy-rejects
 // it when the queue is full.
+//
+//puno:hot
 func (d *Directory) park(e *dirEntry, m *Msg) {
 	if len(e.pending) >= d.QueueCap {
 		d.nackBusy(m)

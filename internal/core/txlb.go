@@ -8,9 +8,14 @@ import "repro/internal/sim"
 // in hardware; on overflow the least recently touched entry is replaced
 // (the paper notes overflow is rare — STAMP's largest workload has 15
 // static transactions).
+//
+// Entries live in a flat, insertion-ordered slice with a map used only as
+// an index: every iteration (the eviction scan, GlobalAverage's float sum)
+// walks the slice, so no result ever depends on Go's randomized map order.
 type TxLB struct {
 	capacity int
-	entries  map[int]*txlbEntry
+	index    map[int]int // staticID -> position in entries
+	entries  []txlbEntry
 	tick     uint64
 
 	// Statistics.
@@ -19,6 +24,7 @@ type TxLB struct {
 }
 
 type txlbEntry struct {
+	id   int // staticID, so eviction can fix the index
 	avg  float64
 	used uint64
 }
@@ -28,7 +34,11 @@ func NewTxLB(capacity int) *TxLB {
 	if capacity <= 0 {
 		panic("core: TxLB needs positive capacity")
 	}
-	return &TxLB{capacity: capacity, entries: make(map[int]*txlbEntry)}
+	return &TxLB{
+		capacity: capacity,
+		index:    make(map[int]int, capacity),
+		entries:  make([]txlbEntry, 0, capacity),
+	}
 }
 
 // Len returns the number of tracked static transactions.
@@ -41,37 +51,47 @@ func (b *TxLB) Len() int { return len(b.entries) }
 func (b *TxLB) Update(staticID int, dynLen sim.Time) {
 	b.Updates++
 	b.tick++
-	e, ok := b.entries[staticID]
-	if !ok {
-		if len(b.entries) >= b.capacity {
-			b.evictLRU()
-		}
-		b.entries[staticID] = &txlbEntry{avg: float64(dynLen), used: b.tick}
+	if i, ok := b.index[staticID]; ok {
+		e := &b.entries[i]
+		e.avg = (e.avg + float64(dynLen)) / 2
+		e.used = b.tick
 		return
 	}
-	e.avg = (e.avg + float64(dynLen)) / 2
-	e.used = b.tick
+	if len(b.entries) >= b.capacity {
+		b.evictLRU()
+	}
+	b.index[staticID] = len(b.entries)
+	b.entries = append(b.entries, txlbEntry{id: staticID, avg: float64(dynLen), used: b.tick})
 }
 
+// evictLRU drops the least recently touched entry. used ticks are unique
+// (tick is monotonic), so the strict < scan picks the same victim in any
+// order — and the slice walk makes the order fixed anyway.
 func (b *TxLB) evictLRU() {
 	b.Evictions++
-	var victim int
-	var oldest uint64 = ^uint64(0)
-	for id, e := range b.entries {
-		if e.used < oldest {
-			oldest = e.used
-			victim = id
+	victim := 0
+	oldest := ^uint64(0)
+	for i := range b.entries {
+		if b.entries[i].used < oldest {
+			oldest = b.entries[i].used
+			victim = i
 		}
 	}
-	delete(b.entries, victim)
+	delete(b.index, b.entries[victim].id)
+	last := len(b.entries) - 1
+	if victim != last {
+		b.entries[victim] = b.entries[last]
+		b.index[b.entries[victim].id] = victim
+	}
+	b.entries = b.entries[:last]
 }
 
 // Average returns the tracked average length of staticID, or 0 if unknown.
 func (b *TxLB) Average(staticID int) sim.Time {
 	b.tick++
-	if e, ok := b.entries[staticID]; ok {
-		e.used = b.tick
-		return sim.Time(e.avg)
+	if i, ok := b.index[staticID]; ok {
+		b.entries[i].used = b.tick
+		return sim.Time(b.entries[i].avg)
 	}
 	return 0
 }
@@ -89,14 +109,15 @@ func (b *TxLB) EstimateRemaining(staticID int, elapsed sim.Time) sim.Time {
 
 // GlobalAverage returns the mean of all tracked averages — the per-node
 // average transaction length hint piggybacked on coherence requests for the
-// directory's adaptive timeout.
+// directory's adaptive timeout. The float sum runs over the flat slice, so
+// rounding is identical on every call with the same contents.
 func (b *TxLB) GlobalAverage() sim.Time {
 	if len(b.entries) == 0 {
 		return 0
 	}
 	var sum float64
-	for _, e := range b.entries {
-		sum += e.avg
+	for i := range b.entries {
+		sum += b.entries[i].avg
 	}
 	return sim.Time(sum / float64(len(b.entries)))
 }

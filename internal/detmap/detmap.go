@@ -1,0 +1,54 @@
+// Package detmap provides deterministic iteration over Go maps.
+//
+// Go randomizes map iteration order on purpose, which is exactly wrong for
+// a simulator whose validity rests on bit-exact reproducibility: a map
+// range whose order reaches simulation state or rendered output is a
+// nondeterminism bug (PR 1 fixed one — PUNO-Push wakeups iterated a map and
+// randomized NoC send order). The punovet `maprange` analyzer therefore
+// forbids raw map ranges in the simulation packages; code that genuinely
+// needs to visit every entry goes through this package instead, which
+// yields keys in sorted order. detmap itself is deliberately outside the
+// audited package set — it is the one blessed place a map range may live.
+package detmap
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Keys returns m's keys sorted ascending. The result is freshly allocated;
+// hot paths that iterate repeatedly should use AppendKeys with a reusable
+// scratch slice instead.
+func Keys[K cmp.Ordered, V any](m map[K]V) []K {
+	return AppendKeys(nil, m)
+}
+
+// AppendKeys appends m's keys to dst, sorts the appended region ascending,
+// and returns the extended slice. Passing dst[:0] reuses dst's capacity, so
+// steady-state callers allocate nothing once the scratch has grown.
+func AppendKeys[K cmp.Ordered, V any](dst []K, m map[K]V) []K {
+	base := len(dst)
+	// Keys are collected in whatever order the runtime yields and sorted
+	// immediately below; no order-dependent use happens in between. detmap
+	// is the blessed home for this pattern — audited packages call it
+	// instead of ranging maps, so the directive lives here, not there.
+	//puno:unordered — keys are sorted immediately after collection
+	for k := range m {
+		dst = append(dst, k)
+	}
+	slices.Sort(dst[base:])
+	return dst
+}
+
+// SortedFunc returns m's keys sorted by the given comparison function, for
+// key types (structs, for example) that are not cmp.Ordered. less must
+// define a strict total order or the result is unspecified.
+func SortedFunc[K comparable, V any](m map[K]V, compare func(a, b K) int) []K {
+	keys := make([]K, 0, len(m))
+	//puno:unordered — keys are sorted immediately after collection
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, compare)
+	return keys
+}

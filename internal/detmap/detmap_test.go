@@ -1,0 +1,51 @@
+package detmap
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeysSorted(t *testing.T) {
+	m := map[int]string{5: "e", 1: "a", 3: "c", 2: "b", 4: "d"}
+	for i := 0; i < 32; i++ { // iteration order varies per call; result must not
+		got := Keys(m)
+		if want := []int{1, 2, 3, 4, 5}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+	if got := Keys(map[uint64]int(nil)); len(got) != 0 {
+		t.Fatalf("Keys(nil) = %v, want empty", got)
+	}
+}
+
+func TestAppendKeysReusesScratch(t *testing.T) {
+	m := map[uint64]int{7: 0, 2: 0, 9: 0}
+	scratch := make([]uint64, 0, 8)
+	got := AppendKeys(scratch[:0], m)
+	if want := []uint64{2, 7, 9}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppendKeys = %v, want %v", got, want)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("AppendKeys did not reuse the scratch backing array")
+	}
+	// Only the appended region is sorted; an existing prefix is untouched.
+	pre := []int{42}
+	out := AppendKeys(pre, map[int]bool{3: true, 1: true})
+	if want := []int{42, 1, 3}; !reflect.DeepEqual(out, want) {
+		t.Fatalf("AppendKeys with prefix = %v, want %v", out, want)
+	}
+}
+
+func TestSortedFunc(t *testing.T) {
+	type pc struct{ a, b int }
+	m := map[pc]int{{2, 1}: 0, {1, 9}: 0, {1, 2}: 0}
+	got := SortedFunc(m, func(x, y pc) int {
+		if x.a != y.a {
+			return x.a - y.a
+		}
+		return x.b - y.b
+	})
+	if want := []pc{{1, 2}, {1, 9}, {2, 1}}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedFunc = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one resolved diagnostic, positioned and attributed.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// Default returns punovet's analyzer suite.
+func Default() []*Analyzer {
+	return []*Analyzer{MapRange, WallClock, HotAlloc, HandlerFunc}
+}
+
+// auditedPkgs are the simulation packages whose determinism and
+// zero-allocation invariants maprange/wallclock/hotalloc enforce. cmd/, the
+// root package, and the harness packages (runner, report, prof, …) are
+// exempt: they run on the host side of the simulation boundary.
+// handlerfunc runs everywhere — a closure handler is wrong wherever the
+// scheduling call appears.
+var auditedPkgs = map[string]bool{
+	"repro/internal/sim":       true,
+	"repro/internal/noc":       true,
+	"repro/internal/coherence": true,
+	"repro/internal/htm":       true,
+	"repro/internal/machine":   true,
+	"repro/internal/core":      true,
+	"repro/internal/cm":        true,
+	"repro/internal/cache":     true,
+}
+
+// noSuppressPkgs are packages where //puno:unordered and //puno:allow are
+// forbidden outright: the event engine, the network, and the machine are
+// the total-order core of the simulator, and "provably cannot matter"
+// claims there have already been wrong once (PR 1's fireWakeups).
+var noSuppressPkgs = map[string]bool{
+	"repro/internal/sim":     true,
+	"repro/internal/noc":     true,
+	"repro/internal/machine": true,
+}
+
+// audited reports whether the package is subject to the simulation-only
+// analyzers. Fixture packages under a testdata/src tree are always treated
+// as audited so the analyzer test suite and the punovet smoke tests can
+// exercise every analyzer on synthetic code.
+func audited(pkgPath string) bool {
+	return auditedPkgs[pkgPath] || strings.Contains(pkgPath, "/testdata/src/")
+}
+
+// RunAnalyzers loads the packages matched by patterns (resolved from dir)
+// and applies the analyzers, returning findings sorted by position. Beyond
+// the analyzers themselves it enforces the suppression policy: malformed
+// directives and suppressions missing a reason are findings, and any
+// suppression inside noSuppressPkgs is a finding regardless of its reason.
+func RunAnalyzers(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a != HandlerFunc && !audited(pkg.PkgPath) {
+				continue
+			}
+			pass := newPass(a, pkg)
+			pass.Report = func(d Diagnostic) {
+				findings = append(findings, Finding{
+					Pos:      pkg.Fset.Position(d.Pos),
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+		findings = append(findings, checkDirectives(pkg)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+func newPass(a *Analyzer, pkg *Package) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Filenames: pkg.Filenames,
+		Src:       pkg.Src,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
+}
+
+// checkDirectives validates every //puno: comment in the package against
+// the suppression policy.
+func checkDirectives(pkg *Package) []Finding {
+	pass := newPass(nil, pkg)
+	var out []Finding
+	report := func(d directive, msg string) {
+		out = append(out, Finding{
+			Pos:      token.Position{Filename: d.File, Line: d.Line},
+			Analyzer: "puno-directive",
+			Message:  msg,
+		})
+	}
+	for _, d := range pass.Directives() {
+		switch d.Kind {
+		case dirMalformed:
+			report(d, d.Problem)
+		case dirSuppress:
+			if d.Reason == "" {
+				report(d, "suppression of "+d.Analyzer+" is missing its required reason (write //puno:... — <why the order/alloc provably cannot matter>)")
+			}
+			if noSuppressPkgs[pkg.PkgPath] {
+				report(d, "suppressions are forbidden in "+pkg.PkgPath+"; fix the code (detmap, flat structures, pooled objects) instead")
+			}
+		}
+	}
+	return out
+}

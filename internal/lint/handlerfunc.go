@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HandlerFunc polices the closure-free scheduling contract: the sim.Handler
+// argument of Engine.AtEvent/AfterEvent must be a long-lived named value —
+// a top-level func, a method receiver, a field — never a capturing closure.
+// A closure handler silently reintroduces the per-event allocation the
+// Handler API exists to eliminate, and captures are invisible state that
+// Machine.Reset cannot rewind.
+var HandlerFunc = &Analyzer{
+	Name: "handlerfunc",
+	Doc:  "require sim.Handler arguments to be named funcs/methods, never capturing closures",
+	Run:  runHandlerFunc,
+}
+
+// handlerParamIndex is the position of the Handler argument in
+// AtEvent(t, h, arg, word) and AfterEvent(delay, h, arg, word).
+const handlerParamIndex = 1
+
+var handlerSchedulers = map[string]bool{
+	"(*repro/internal/sim.Engine).AtEvent":    true,
+	"(*repro/internal/sim.Engine).AfterEvent": true,
+}
+
+func runHandlerFunc(pass *Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || !handlerSchedulers[fn.FullName()] {
+				return true
+			}
+			if len(call.Args) <= handlerParamIndex {
+				return true
+			}
+			checkHandlerArg(pass, call.Args[handlerParamIndex])
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkHandlerArg(pass *Pass, arg ast.Expr) {
+	// Any function literal inside the argument expression is a closure
+	// handler, whether passed directly or through an adapter conversion.
+	var hasLit bool
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			hasLit = true
+			return false
+		}
+		return true
+	})
+	if hasLit {
+		if !pass.suppressed("handlerfunc", arg.Pos()) {
+			pass.Reportf(arg.Pos(), "sim.Handler argument is a function literal; handlers must be named top-level funcs or methods so scheduling stays closure-free")
+		}
+		return
+	}
+	// A local variable of function type smuggles a closure through an
+	// adapter type (`h := func(...){...}; eng.AtEvent(t, hf(h), …)`).
+	base := arg
+unwrap:
+	for {
+		switch x := base.(type) {
+		case *ast.ParenExpr:
+			base = x.X
+		case *ast.UnaryExpr:
+			base = x.X
+		case *ast.CallExpr: // conversion through a named adapter type
+			tv, ok := pass.TypesInfo.Types[x.Fun]
+			if !ok || !tv.IsType() || len(x.Args) != 1 {
+				return
+			}
+			base = x.Args[0]
+		default:
+			break unwrap
+		}
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	if _, isFunc := obj.Type().Underlying().(*types.Signature); !isFunc {
+		return
+	}
+	if pass.Pkg.Scope().Lookup(id.Name) == obj {
+		return // package-level handler variable: long-lived, allowed
+	}
+	if !pass.suppressed("handlerfunc", arg.Pos()) {
+		pass.Reportf(arg.Pos(), "sim.Handler argument is a local function-typed variable (possible closure); handlers must be named top-level funcs or methods")
+	}
+}

@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc guards the zero-allocation hot path PRs 2–3 bought: inside hot
+// functions it flags closures (func literals), make/new, heap-allocating
+// composite-literal addresses, appends that grow a function-local slice,
+// and call arguments whose interface conversion boxes a value. A function
+// is hot when it is annotated `//puno:hot` (the annotation may appear
+// anywhere in the doc comment) or when it is an OnEvent method with the
+// sim.Handler signature func(any, uint64) — those are the closure-free
+// event dispatchers every simulation event funnels through.
+//
+// Deliberately allowed: appends to fields, parameters, and locals
+// initialized from an existing slice (the reusable-scratch idiom, e.g.
+// `out := d.sharerScratch[:0]`), pointer/map/chan/func values passed as
+// interfaces (pointer-shaped, no box), and anything inside a panic call
+// (cold by definition). Test files are exempt.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid per-event allocation inside hot simulation functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) (any, error) {
+	for i, f := range pass.Files {
+		if pass.isTestFile(i) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.isHotFunc(fd) {
+				checkHotBody(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isHotFunc reports whether fd is in hotalloc's scope.
+func (p *Pass) isHotFunc(fd *ast.FuncDecl) bool {
+	if isHandlerOnEvent(p, fd) {
+		return true
+	}
+	funcLine := p.Fset.Position(fd.Pos()).Line
+	file := p.Fset.Position(fd.Pos()).Filename
+	docStart := funcLine
+	if fd.Doc != nil {
+		docStart = p.Fset.Position(fd.Doc.Pos()).Line
+	}
+	for _, d := range p.Directives() {
+		if d.Kind == dirHot && d.File == file && d.Line >= docStart && d.Line < funcLine+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// isHandlerOnEvent reports whether fd is a method named OnEvent with the
+// sim.Handler signature (arg any, word uint64).
+func isHandlerOnEvent(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "OnEvent" {
+		return false
+	}
+	obj, ok := p.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return false
+	}
+	first, ok := sig.Params().At(0).Type().Underlying().(*types.Interface)
+	if !ok || !first.Empty() {
+		return false
+	}
+	second, ok := sig.Params().At(1).Type().Underlying().(*types.Basic)
+	return ok && second.Kind() == types.Uint64
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	freshLocals := collectFreshLocalSlices(pass, fd.Body)
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if !pass.suppressed("hotalloc", x.Pos()) {
+				pass.Reportf(x.Pos(), "function literal in hot function %s allocates a closure per event; use a named handler plus a continuation code", fd.Name.Name)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, comp := x.X.(*ast.CompositeLit); comp && !pass.suppressed("hotalloc", x.Pos()) {
+					pass.Reportf(x.Pos(), "address of composite literal heap-allocates per event in hot function %s; use a pooled or by-value object", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass, x.Fun, "panic") {
+				return false // panic paths are cold; ignore everything inside
+			}
+			checkHotCall(pass, fd, x, freshLocals)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, freshLocals map[types.Object]bool) {
+	switch {
+	case isBuiltin(pass, call.Fun, "make"):
+		if !pass.suppressed("hotalloc", call.Pos()) {
+			pass.Reportf(call.Pos(), "make in hot function %s allocates per event; hoist into a reusable arena or scratch buffer", fd.Name.Name)
+		}
+		return
+	case isBuiltin(pass, call.Fun, "new"):
+		if !pass.suppressed("hotalloc", call.Pos()) {
+			pass.Reportf(call.Pos(), "new in hot function %s allocates per event; use a pooled object", fd.Name.Name)
+		}
+		return
+	case isBuiltin(pass, call.Fun, "append"):
+		if len(call.Args) == 0 {
+			return
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && freshLocals[obj] && !pass.suppressed("hotalloc", call.Pos()) {
+				pass.Reportf(call.Pos(), "append grows function-local slice %s, allocating per event in hot function %s; append into a reusable field or parameter instead", id.Name, fd.Name.Name)
+			}
+		}
+		return
+	}
+
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion: T(x) where T is an interface boxes x.
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			reportIfBoxes(pass, fd, call.Args[0])
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); isIface {
+			reportIfBoxes(pass, fd, arg)
+		}
+	}
+}
+
+// reportIfBoxes flags arg when converting it to an interface allocates: its
+// static type is a value type (basic, string, struct, array, slice) rather
+// than interface- or pointer-shaped.
+func reportIfBoxes(pass *Pass, fd *ast.FuncDecl, arg ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && (b.Kind() == types.UntypedNil || b.Kind() == types.Invalid) {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Basic, *types.Struct, *types.Array, *types.Slice:
+		if !pass.suppressed("hotalloc", arg.Pos()) {
+			pass.Reportf(arg.Pos(), "passing %s as an interface boxes the value, allocating per event in hot function %s; pass a pooled pointer or pack it into the uint64 payload word", tv.Type, fd.Name.Name)
+		}
+	}
+}
+
+// collectFreshLocalSlices finds slice variables declared inside body whose
+// initializer necessarily allocates on growth: `var s []T`, `s := []T{…}`,
+// or `s := make(…)`. Locals re-sliced from an existing buffer
+// (`s := d.scratch[:0]`) are the reusable-scratch idiom and stay allowed.
+func collectFreshLocalSlices(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	mark := func(id *ast.Ident, init ast.Expr) {
+		if id.Name == "_" {
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		if freshSliceInit(pass, init) {
+			fresh[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.DEFINE || len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					mark(id, s.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var init ast.Expr
+					if i < len(vs.Values) {
+						init = vs.Values[i]
+					}
+					mark(name, init)
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// freshSliceInit reports whether init makes the declared slice a fresh
+// allocation site: absent (nil), a nil literal, a composite literal, or a
+// make call.
+func freshSliceInit(pass *Pass, init ast.Expr) bool {
+	switch x := init.(type) {
+	case nil:
+		return true
+	case *ast.Ident:
+		return x.Name == "nil"
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		return isBuiltin(pass, x.Fun, "make")
+	default:
+		return false
+	}
+}
+
+// isBuiltin reports whether fun denotes the named Go builtin.
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isB
+}

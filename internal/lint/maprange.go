@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags `for … range` over a map-typed value. Go randomizes map
+// iteration order per range statement, so any map range whose order can
+// reach simulation state or rendered output is a latent nondeterminism bug
+// — the exact class PR 1 fixed in PUNO-Push's fireWakeups, where a map
+// range randomized NoC send order. Simulation code iterates a sorted key
+// slice (internal/detmap) or a flat insertion-ordered structure
+// (internal/htm's lineSet) instead; a range whose order provably cannot
+// escape may carry `//puno:unordered — <reason>`.
+//
+// Test files are exempt: table-driven tests range over expectation maps and
+// are off the simulation path by definition.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "forbid nondeterministically-ordered map iteration in simulation packages",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *Pass) (any, error) {
+	for i, f := range pass.Files {
+		if pass.isTestFile(i) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.suppressed("maprange", rs.For) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"map iteration order is nondeterministic and can leak into simulation state; iterate detmap.Keys/a flat insertion-ordered structure, or annotate //puno:unordered — <reason> if the order provably cannot escape")
+			return true
+		})
+	}
+	return nil, nil
+}

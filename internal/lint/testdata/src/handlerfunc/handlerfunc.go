@@ -1,0 +1,45 @@
+// Package handlerfunc is the firing fixture for the handlerfunc analyzer.
+package handlerfunc
+
+import "repro/internal/sim"
+
+// hf adapts a plain function to sim.Handler — the adapter that lets
+// closures sneak into the scheduler if nobody is watching.
+type hf func(arg any, word uint64)
+
+func (f hf) OnEvent(arg any, word uint64) { f(arg, word) }
+
+// tick is a named top-level handler function: always allowed.
+func tick(arg any, word uint64) {}
+
+// tickHandler is a long-lived package-level handler value: allowed.
+var tickHandler = hf(tick)
+
+type counter struct{ n uint64 }
+
+// OnEvent implements sim.Handler on a named type: the blessed form.
+func (c *counter) OnEvent(arg any, word uint64) { c.n += word }
+
+func bad(eng *sim.Engine) {
+	n := 0
+	eng.AtEvent(5, hf(func(arg any, word uint64) { n++ }), nil, 0)    // want "function literal"
+	eng.AfterEvent(5, hf(func(arg any, word uint64) { n++ }), nil, 0) // want "function literal"
+	local := func(arg any, word uint64) { n++ }
+	eng.AtEvent(5, hf(local), nil, 0) // want "local function-typed variable"
+}
+
+func good(eng *sim.Engine, c *counter) {
+	eng.AtEvent(5, c, nil, 1)
+	eng.AfterEvent(5, c, nil, 2)
+	eng.AtEvent(5, hf(tick), nil, 3)
+	eng.AtEvent(5, tickHandler, nil, 4)
+	// Closures remain fine on the cold At/After path — only the Handler
+	// API is closure-free by contract.
+	done := false
+	eng.After(5, func() { done = true })
+	_ = done
+}
+
+func suppressedOK(eng *sim.Engine) {
+	eng.AtEvent(5, hf(func(arg any, word uint64) {}), nil, 0) //puno:allow handlerfunc — one-shot setup event before cycle zero, never on the hot path
+}

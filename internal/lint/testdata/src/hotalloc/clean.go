@@ -1,0 +1,51 @@
+// clean.go proves hotalloc allows the zero-allocation idioms the simulator
+// actually uses: reusable field buffers, scratch re-slicing, pooled
+// pointers into interfaces, and panic paths.
+package hotalloc
+
+import "fmt"
+
+type pool struct {
+	free []*msg
+}
+
+type engine struct {
+	slab    []msg
+	scratch []int
+	p       pool
+}
+
+// OnEvent is hot (sim.Handler signature) but allocation-free.
+func (e *engine) OnEvent(arg any, word uint64) {
+	// Pooled pointer through an interface: pointer-shaped, no box.
+	m := arg.(*msg)
+	m.a = word
+	// Appending to a field reuses its capacity (the slab/scratch idiom).
+	e.slab = append(e.slab, *m)
+	// Local re-sliced from an existing buffer is the reusable-scratch idiom.
+	out := e.scratch[:0]
+	out = append(out, int(word))
+	e.scratch = out
+	// Passing pointers and interfaces onward never boxes.
+	e.retain(m)
+	sinkAny(arg)
+	// Panic paths are cold: allocation there is fine.
+	if word == badWord {
+		panic(fmt.Sprintf("engine: impossible word %d in %v", word, []int{1}))
+	}
+}
+
+const badWord = ^uint64(0)
+
+func (e *engine) retain(m *msg) { e.p.free = append(e.p.free, m) }
+
+func sinkAny(v any) { _ = v }
+
+// cold is unannotated and not a handler: hotalloc ignores it entirely.
+func cold() []msg {
+	out := make([]msg, 0, 16)
+	for i := 0; i < 16; i++ {
+		out = append(out, msg{a: uint64(i)})
+	}
+	return out
+}

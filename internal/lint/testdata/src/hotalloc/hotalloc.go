@@ -1,0 +1,50 @@
+// Package hotalloc is the firing fixture for the hotalloc analyzer.
+package hotalloc
+
+type msg struct{ a, b uint64 }
+
+type dispatcher struct {
+	queue   []msg
+	scratch []int
+	run     func()
+}
+
+// OnEvent has the sim.Handler signature, so it is hot without annotation.
+func (d *dispatcher) OnEvent(arg any, word uint64) {
+	d.run = func() { d.queue = nil } // want "function literal in hot function OnEvent"
+	buf := make([]msg, 8)            // want "make in hot function OnEvent"
+	_ = buf
+	p := new(msg) // want "new in hot function OnEvent"
+	_ = p
+	q := &msg{a: word} // want "address of composite literal"
+	_ = q
+	var fresh []int
+	fresh = append(fresh, int(word)) // want "append grows function-local slice fresh"
+	_ = fresh
+	box(word)         // want "passing uint64 as an interface boxes the value"
+	box(msg{a: word}) // want "passing .*msg as an interface boxes the value"
+}
+
+// onEventWrongSig is NOT hot: the signature does not match sim.Handler, and
+// there is no annotation.
+func (d *dispatcher) onEventWrongSig(word uint32) {
+	_ = make([]msg, 8)
+	_ = func() {}
+}
+
+// hotAnnotated is hot via the doc-comment annotation.
+//
+//puno:hot
+func hotAnnotated(d *dispatcher) {
+	_ = make(map[int]int) // want "make in hot function hotAnnotated"
+}
+
+// hotSuppressed shows the per-site escape hatch with a written reason.
+//
+//puno:hot
+func hotSuppressed(d *dispatcher) {
+	//puno:allow hotalloc — one-time warm-up growth, amortized to zero per event
+	d.scratch = append(d.scratch, make([]int, 4)...)
+}
+
+func box(v any) { _ = v }

@@ -1,0 +1,22 @@
+// clean.go proves maprange produces no false positives on idiomatic
+// order-insensitive code that never ranges a map.
+package maprange
+
+func cleanLookups(m map[int]string, keys []int) int {
+	n := 0
+	for _, k := range keys {
+		if v, ok := m[k]; ok {
+			n += len(v)
+		}
+	}
+	n += len(m)
+	return n
+}
+
+func cleanArrays(a [4]uint64) uint64 {
+	var t uint64
+	for i, v := range a {
+		t += uint64(i) * v
+	}
+	return t
+}

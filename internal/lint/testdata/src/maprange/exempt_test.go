@@ -1,0 +1,15 @@
+// Test files in audited packages are exempt from maprange: table-driven
+// tests legitimately range over expectation maps, and test code is off the
+// simulation path. punovet must report nothing for this file even though it
+// ranges a map without suppression.
+package maprange
+
+import "testing"
+
+func TestIdiomaticExpectationMap(t *testing.T) {
+	for in, want := range map[int]int{1: 2, 2: 4, 3: 6} {
+		if got := in * 2; got != want {
+			t.Errorf("double(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

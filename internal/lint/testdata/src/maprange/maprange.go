@@ -1,0 +1,75 @@
+// Package maprange is the firing fixture for the maprange analyzer.
+package maprange
+
+import "sort"
+
+var sink int
+
+// bad ranges over maps without suppression — every one must be flagged.
+func bad(m map[int]string, nested map[string]map[int]int) {
+	for k := range m { // want "map iteration order is nondeterministic"
+		sink += k
+	}
+	for k, v := range m { // want "map iteration order is nondeterministic"
+		sink += k + len(v)
+	}
+	for _, inner := range nested { // want "map iteration order is nondeterministic"
+		for k := range inner { // want "map iteration order is nondeterministic"
+			sink += k
+		}
+	}
+}
+
+// namedMap proves the check goes through Underlying: named map types are
+// still maps.
+type namedMap map[uint64]bool
+
+func badNamed(m namedMap) {
+	for k := range m { // want "map iteration order is nondeterministic"
+		sink += int(k)
+	}
+}
+
+// suppressedOK carries well-formed suppressions and must stay silent.
+func suppressedOK(m map[int]string) {
+	//puno:unordered — pure count; the result is independent of visit order
+	for range m {
+		sink++
+	}
+	for k := range m { //puno:unordered — keys feed a commutative integer sum
+		sink += k
+	}
+	//puno:allow maprange — generic allow form is equivalent to unordered
+	for k := range m {
+		sink += k
+	}
+}
+
+// missingReason has a reasonless suppression: it does NOT suppress, and the
+// directive itself is flagged by the driver (covered in driver tests).
+func missingReason(m map[int]string) {
+	//puno:unordered
+	for k := range m { // want "map iteration order is nondeterministic"
+		sink += k
+	}
+}
+
+// sliceAndChannelOK proves non-map ranges never fire.
+func sliceAndChannelOK(s []int, ch chan int, m map[int]string) {
+	for _, v := range s {
+		sink += v
+	}
+	for v := range ch {
+		sink += v
+	}
+	// The blessed pattern: collect, sort, then iterate the slice.
+	keys := make([]int, 0, len(m))
+	//puno:unordered — keys are sorted immediately after collection
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		sink += k
+	}
+}

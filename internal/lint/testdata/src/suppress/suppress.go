@@ -1,0 +1,28 @@
+// Package suppress is the fixture for the directive checker itself:
+// malformed //puno: comments are findings in their own right.
+package suppress
+
+var sink int
+
+func directives(m map[int]int) {
+	//puno:unordered — well-formed: reason present, suppresses the range below
+	for k := range m {
+		sink += k
+	}
+	//puno:unordered
+	for k := range m { // want "map iteration order is nondeterministic"
+		sink += k
+	}
+	//puno:frobnicate — no such verb
+	for _, v := range []int{1, 2} {
+		sink += v
+	}
+	//puno:hot with trailing junk
+	for _, v := range []int{3} {
+		sink += v
+	}
+	//puno:allow
+	for _, v := range []int{4} {
+		sink += v
+	}
+}

@@ -1,0 +1,17 @@
+// clean.go proves wallclock allows deterministic uses of package time:
+// durations, constants, and formatting do not read the host clock.
+package wallclock
+
+import "time"
+
+func cleanDurations(cycles int64) time.Duration {
+	d := time.Duration(cycles) * time.Nanosecond
+	if d > time.Millisecond {
+		d = d.Round(time.Microsecond)
+	}
+	return d
+}
+
+func cleanParse(s string) (time.Time, error) {
+	return time.Parse(time.RFC3339, s)
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cm"
 	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/detmap"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/sim"
@@ -476,8 +477,8 @@ func (m *Machine) DrainCaches() {
 				m.backing.Store(e.Line, e.Data)
 			}
 		})
-		for l, d := range n.wbWait {
-			m.backing.Store(l, d)
+		for _, l := range detmap.Keys(n.wbWait) {
+			m.backing.Store(l, n.wbWait[l])
 		}
 	}
 }
@@ -496,7 +497,9 @@ func (m *Machine) CheckInvariants() error {
 			lines[e.Line] = append(lines[e.Line], holder{n.id, e.State})
 		})
 	}
-	for l, hs := range lines {
+	lineKeys := detmap.Keys(lines)
+	for _, l := range lineKeys {
+		hs := lines[l]
 		owners := 0
 		for _, h := range hs {
 			if h.state == cache.Modified || h.state == cache.Exclusive {
@@ -515,7 +518,8 @@ func (m *Machine) CheckInvariants() error {
 	// is travelling through a writeback.
 	for home, d := range m.dirs {
 		_ = home
-		for l, hs := range lines {
+		for _, l := range lineKeys {
+			hs := lines[l]
 			if m.home.Home(l) != home {
 				continue
 			}

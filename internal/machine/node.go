@@ -226,6 +226,9 @@ func (n *node) OnEvent(_ any, word uint64) {
 	}
 }
 
+// afterEv schedules a continuation on this node.
+//
+//puno:hot
 func (n *node) afterEv(d sim.Time, code uint64) { n.m.eng.AfterEvent(d, n, nil, code) }
 
 // trace emits a debug event when tracing is enabled.
@@ -237,6 +240,8 @@ func (n *node) trace(format string, args ...any) {
 
 // afterCancellableEv schedules a continuation and remembers the event so
 // an abort can cancel it.
+//
+//puno:hot
 func (n *node) afterCancellableEv(d sim.Time, code uint64) {
 	n.pending = n.m.eng.AfterEvent(d, n, nil, code)
 }

@@ -1,6 +1,9 @@
 package machine
 
 import (
+	"maps"
+
+	"repro/internal/detmap"
 	"repro/internal/noc"
 	"repro/internal/sim"
 )
@@ -140,12 +143,7 @@ func resizeCounts(s []uint64, n int) []uint64 {
 // results that must outlive the arena's next Reset are cloned first.
 func (r *Result) Clone() *Result {
 	c := *r
-	if r.FalseAbortHist != nil {
-		c.FalseAbortHist = make(map[int]uint64, len(r.FalseAbortHist))
-		for k, v := range r.FalseAbortHist {
-			c.FalseAbortHist[k] = v
-		}
-	}
+	c.FalseAbortHist = maps.Clone(r.FalseAbortHist)
 	c.PerNodeCommits = append([]uint64(nil), r.PerNodeCommits...)
 	c.PerNodeAborts = append([]uint64(nil), r.PerNodeAborts...)
 	c.Timeline = append([]Sample(nil), r.Timeline...)
@@ -205,8 +203,8 @@ func (r *Result) DirBlockingPerTxGETX() float64 {
 // were ultimately NACKed (the integral of the Fig. 3 histogram).
 func (r *Result) UnnecessaryAborts() uint64 {
 	var n uint64
-	for k, c := range r.FalseAbortHist {
-		n += uint64(k) * c
+	for _, k := range detmap.Keys(r.FalseAbortHist) {
+		n += uint64(k) * r.FalseAbortHist[k]
 	}
 	return n
 }

@@ -256,6 +256,8 @@ func (m *Mesh) AverageLatency(flits int) sim.Time {
 // and schedules handler(dst) at its delivery time. The delivery time
 // accounts for router pipeline depth, link serialization of all flits, and
 // queueing when a link is busy with earlier traffic.
+//
+//puno:hot
 func (m *Mesh) Send(src, dst int, class Class, flits int, payload any) {
 	if flits <= 0 {
 		panic("noc: message with no flits")

@@ -188,6 +188,8 @@ func (e *Engine) Reset() {
 
 // schedule grabs a slot, fills it, and queues it on the wheel (near
 // horizon) or the overflow heap (at or beyond it).
+//
+//puno:hot
 func (e *Engine) schedule(t Time, fn Event, h Handler, arg any, word uint64) EventID {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
@@ -389,6 +391,8 @@ func (e *Engine) popSlot(idx int32) {
 
 // runSlot fires the event in slot idx: advance the clock, release the slot
 // (so the callback can recycle it), then run the callback.
+//
+//puno:hot
 func (e *Engine) runSlot(idx int32) {
 	s := &e.slots[idx]
 	e.now = s.at
