@@ -123,6 +123,9 @@ func BenchmarkFig3(b *testing.B) {
 	maxMult := 0
 	for _, wl := range sweep.Workloads {
 		for k, c := range sweep.Results[wl.Name()][SchemeBaseline].FalseAbortHist {
+			if c == 0 {
+				continue
+			}
 			events += c
 			victims += uint64(k) * c
 			if k > maxMult {

@@ -43,6 +43,7 @@ func (s State) String() string {
 // Entry is one cache line's residency in the array.
 type Entry struct {
 	Line   mem.Line
+	LID    mem.LineID // Line's interned dense ID (0 when unknown to the filler)
 	State  State
 	Data   mem.LineData
 	Pinned bool // member of a live transaction's read/write set
@@ -172,6 +173,14 @@ func (c *Cache) Victim(l mem.Line) *Entry {
 // the set is fully pinned. Inserting a line that is already present panics:
 // the coherence controller must not double-fill.
 func (c *Cache) Insert(l mem.Line, st State, data mem.LineData) (installed *Entry, evicted Entry, wasEvicted bool) {
+	return c.InsertID(l, 0, st, data)
+}
+
+// InsertID is Insert carrying l's interned LineID, so entries filled by the
+// machine's miss path retain the dense index the coherence messages already
+// computed (tag compare stays on Line; LID rides along for the HTM and
+// writeback tables).
+func (c *Cache) InsertID(l mem.Line, id mem.LineID, st State, data mem.LineData) (installed *Entry, evicted Entry, wasEvicted bool) {
 	if c.Lookup(l) != nil {
 		panic(fmt.Sprintf("cache: double insert of line %v", l))
 	}
@@ -184,7 +193,7 @@ func (c *Cache) Insert(l mem.Line, st State, data mem.LineData) (installed *Entr
 		evicted, wasEvicted = *v, true
 	}
 	c.tick++
-	*v = Entry{Line: l, State: st, Data: data, lru: c.tick, valid: true}
+	*v = Entry{Line: l, LID: id, State: st, Data: data, lru: c.tick, valid: true}
 	return v, evicted, wasEvicted
 }
 

@@ -1,0 +1,127 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestDenseEntryTableMatchesMapModel drives the directory's dense
+// LineID-indexed entry store — entry creation, state mutation, idle
+// recycling, and full Resets — against a plain map[Line]*model reference
+// under seeded random streams, and requires the two to agree on which
+// entries are live and what state they hold. This is the contract the
+// handlers rely on now that no Go map sits on the request path.
+func TestDenseEntryTableMatchesMapModel(t *testing.T) {
+	type modelEntry struct {
+		state   DirState
+		sharers uint64
+		owner   int
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := sim.NewRNG(seed * 131)
+		env := newMockEnv()
+		d := NewDirectory(0, 16, env, nil)
+		it := env.Interner()
+		model := make(map[mem.Line]*modelEntry)
+
+		line := func() mem.Line { return mem.Line(uint64(rng.Intn(150)) * mem.LineBytes) }
+
+		for step := 0; step < 6000; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // touch: create-or-get and mutate
+				l := line()
+				e := d.entry(l, it.Intern(l))
+				m, ok := model[l]
+				if !ok {
+					m = &modelEntry{state: DirInvalid, owner: -1}
+					model[l] = m
+				}
+				if e.state != m.state || e.sharers != m.sharers || e.owner != m.owner {
+					t.Fatalf("seed %d step %d: entry(%v) = {%v %b %d}, model {%v %b %d}",
+						seed, step, l, e.state, e.sharers, e.owner, m.state, m.sharers, m.owner)
+				}
+				// Random mutation, mirrored into the model.
+				switch rng.Intn(3) {
+				case 0:
+					e.state, m.state = DirShared, DirShared
+					s := uint64(1) << uint(rng.Intn(16))
+					e.sharers, m.sharers = e.sharers|s, m.sharers|s
+				case 1:
+					o := rng.Intn(16)
+					e.state, m.state = DirModified, DirModified
+					e.owner, m.owner = o, o
+					e.sharers, m.sharers = 0, 0
+				case 2: // back to idle-default (recyclable)
+					e.state, m.state = DirInvalid, DirInvalid
+					e.sharers, m.sharers = 0, 0
+					e.owner, m.owner = -1, -1
+				}
+			case 4, 5, 6: // recycle attempt
+				l := line()
+				if e := d.lookup(it.Lookup(l)); e != nil {
+					d.recycleIfIdle(e)
+					m := model[l]
+					if m.state == DirInvalid {
+						delete(model, l) // idle entries are dropped
+					}
+				}
+			case 7, 8: // liveness agreement
+				l := line()
+				e := d.lookup(it.Lookup(l))
+				_, ok := model[l]
+				if (e != nil) != ok {
+					t.Fatalf("seed %d step %d: lookup(%v) live=%v, model live=%v", seed, step, l, e != nil, ok)
+				}
+				if e != nil {
+					m := model[l]
+					if e.state != m.state || e.sharers != m.sharers || e.owner != m.owner {
+						t.Fatalf("seed %d step %d: lookup(%v) = {%v %b %d}, model {%v %b %d}",
+							seed, step, l, e.state, e.sharers, e.owner, m.state, m.sharers, m.owner)
+					}
+				}
+			case 9:
+				if rng.Intn(200) == 0 { // rare: full reset, capacity retained
+					d.Reset(nil)
+					clear(model)
+				}
+			}
+			if len(d.slab)-len(d.free) != len(model) {
+				t.Fatalf("seed %d step %d: %d live slots (slab %d - free %d), model %d",
+					seed, step, len(d.slab)-len(d.free), len(d.slab), len(d.free), len(model))
+			}
+		}
+	}
+}
+
+// TestDenseEntryTableGrowth forces the slot index through repeated
+// within-capacity re-extension and fresh growth: interleaves Resets with
+// ascending-ID touches and checks stale slot mappings never resurface.
+func TestDenseEntryTableGrowth(t *testing.T) {
+	env := newMockEnv()
+	d := NewDirectory(0, 16, env, nil)
+	it := env.Interner()
+	for round := 0; round < 6; round++ {
+		n := 50 * (round + 1) // extends past the previous round's len
+		for i := 0; i < n; i++ {
+			l := mem.Line(uint64(i) * mem.LineBytes)
+			e := d.entry(l, it.Intern(l))
+			if e.line != l {
+				t.Fatalf("round %d: entry for %v holds line %v", round, l, e.line)
+			}
+			if e.state != DirInvalid || e.busy || len(e.pending) != 0 {
+				t.Fatalf("round %d: fresh entry for %v not in default state: %+v", round, l, *e)
+			}
+			e.state = DirShared // dirty it so recycling can't hide staleness
+		}
+		if got := len(d.slab); got != n {
+			t.Fatalf("round %d: slab has %d entries, want %d", round, got, n)
+		}
+		d.Reset(nil)
+		it.Reset()
+		if d.lookup(1) != nil {
+			t.Fatalf("round %d: entry survived Reset", round)
+		}
+	}
+}

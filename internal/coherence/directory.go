@@ -2,8 +2,9 @@ package coherence
 
 import (
 	"fmt"
+	"math/bits"
+	"sort"
 
-	"repro/internal/detmap"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -44,11 +45,16 @@ type Env interface {
 	// a pool, so fields are NOT zeroed; the directory overwrites every
 	// message wholesale (*msg = Msg{...}) before sending.
 	NewMsg() *Msg
-	// LineData returns the L2/memory image of l and the access latency
-	// (L2 hit latency, or the memory latency on a cold miss).
-	LineData(l mem.Line) (mem.LineData, sim.Time)
+	// Interner is the machine-wide line interner the directory indexes its
+	// dense entry table by. Returning nil makes the directory run a private
+	// interner (isolated tests).
+	Interner() *mem.Interner
+	// LineData returns the L2/memory image of l (whose interned ID is id)
+	// and the access latency (L2 hit latency, or the memory latency on a
+	// cold miss).
+	LineData(l mem.Line, id mem.LineID) (mem.LineData, sim.Time)
 	// StoreLine updates the L2 image (writebacks, downgrades).
-	StoreLine(l mem.Line, d mem.LineData)
+	StoreLine(l mem.Line, id mem.LineID, d mem.LineData)
 }
 
 // Predictor is the directory-side hook PUNO plugs into. A nil Predictor
@@ -100,6 +106,8 @@ type Stats struct {
 }
 
 type dirEntry struct {
+	line    mem.Line   // the line this slot currently serves
+	lid     mem.LineID // line's interned ID (index into Directory.idx)
 	state   DirState
 	sharers uint64 // bitmask over nodes
 	owner   int
@@ -146,11 +154,16 @@ type Directory struct {
 	// directory falls back to NackBusy.
 	QueueCap int
 
-	entries map[mem.Line]*dirEntry
-	// freeEntries recycles dirEntry structs whose line returned to
+	// The entry store is a dense LineID-indexed table: idx maps a LineID to
+	// its slot in slab (+1 encoded; 0 = no entry), slab holds dirEntry
+	// values contiguously, and free recycles slots whose line returned to
 	// Invalid with nothing queued (clean PUTX), so long runs that sweep
-	// many lines do not grow the entry population monotonically.
-	freeEntries []*dirEntry
+	// many lines do not grow the entry population monotonically. No Go map
+	// sits on the request path.
+	it   *mem.Interner
+	idx  []int32
+	slab []dirEntry
+	free []int32
 	// sharerScratch backs the sharer lists the hot request paths build;
 	// callees (forward loops, the predictor) never retain the slice.
 	sharerScratch []int
@@ -163,33 +176,37 @@ func NewDirectory(node, nodes int, env Env, pred Predictor) *Directory {
 	if nodes > 64 {
 		panic("coherence: more than 64 nodes not supported by sharer bitmask")
 	}
+	it := env.Interner()
+	if it == nil {
+		it = mem.NewInterner()
+	}
 	return &Directory{
 		node:       node,
 		nodes:      nodes,
 		env:        env,
 		pred:       pred,
+		it:         it,
 		DirLatency: 1,
 		QueueCap:   nodes,
-		entries:    make(map[mem.Line]*dirEntry),
 	}
 }
 
 // Reset returns the controller to the state NewDirectory would produce for
 // the same node/nodes/env, swapping in pred (the predictor is rebuilt per
-// run) and moving every live entry to the free list so a reused directory
-// repopulates without allocating. DirLatency and QueueCap revert to their
-// construction defaults.
+// run). The entry slab and slot index keep their capacity (truncated, with
+// each slot's pending-queue array retained for reuse), so a reused
+// directory repopulates without allocating; slot assignment is by arrival
+// order, which is deterministic by construction. DirLatency and QueueCap
+// revert to their construction defaults. The interner is shared machine
+// state and is reset by its owner, not here.
 func (d *Directory) Reset(pred Predictor) {
 	d.pred = pred
 	d.DirLatency = 1
 	d.QueueCap = d.nodes
-	// Walk the live lines in sorted order so the free list — and therefore
-	// the *e aliasing pattern of the next run's entries — is reproducible
-	// byte for byte across runs that reuse this directory.
-	for _, l := range detmap.Keys(d.entries) {
-		d.freeEntries = append(d.freeEntries, d.entries[l])
-		delete(d.entries, l)
-	}
+	d.slab = d.slab[:0]
+	d.free = d.free[:0]
+	clear(d.idx[:cap(d.idx)])
+	d.idx = d.idx[:0]
 	d.stats = Stats{}
 }
 
@@ -200,12 +217,12 @@ func (d *Directory) Stats() Stats { return d.stats }
 func (d *Directory) ResetStats() { d.stats = Stats{} }
 
 // BusyLines returns the number of entries currently blocked (used by the
-// machine's quiescence check).
+// machine's quiescence check). Free-listed slots are never busy (recycling
+// requires an idle entry), so scanning the whole slab is safe.
 func (d *Directory) BusyLines() int {
 	n := 0
-	//puno:unordered — pure count; the sum is the same in any visit order
-	for _, e := range d.entries {
-		if e.busy {
+	for i := range d.slab {
+		if d.slab[i].busy {
 			n++
 		}
 	}
@@ -229,63 +246,112 @@ type BusyInfo struct {
 // line order so hang dumps are stable across runs.
 func (d *Directory) BusyEntries() []BusyInfo {
 	var out []BusyInfo
-	for _, l := range detmap.Keys(d.entries) {
-		e := d.entries[l]
+	for i := range d.slab {
+		e := &d.slab[i]
 		if !e.busy {
 			continue
 		}
 		out = append(out, BusyInfo{
-			Line: l, Requester: e.requester, IsGETX: e.busyGETX, Since: e.busySince,
+			Line: e.line, Requester: e.requester, IsGETX: e.busyGETX, Since: e.busySince,
 			WaitWB: e.waitWB, GotWB: e.gotWB, GotUnblock: e.gotUnblock,
 			UnicastTo: e.unicastTo, Pending: len(e.pending),
 		})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
 	return out
 }
 
 // State reports the stable state, sharer list, and owner of a line
 // (invariant checkers and tests).
 func (d *Directory) State(l mem.Line) (DirState, []int, int) {
-	e, ok := d.entries[l]
-	if !ok {
+	e := d.lookup(d.it.Lookup(l))
+	if e == nil {
 		return DirInvalid, nil, -1
 	}
 	return e.state, d.sharerList(e.sharers, -1), e.owner
 }
 
-func (d *Directory) entry(l mem.Line) *dirEntry {
-	e, ok := d.entries[l]
-	if !ok {
-		if n := len(d.freeEntries); n > 0 {
-			e = d.freeEntries[n-1]
-			d.freeEntries = d.freeEntries[:n-1]
-			*e = dirEntry{state: DirInvalid, owner: -1, unicastTo: -1, pending: e.pending[:0]}
-		} else {
-			e = &dirEntry{state: DirInvalid, owner: -1, unicastTo: -1}
+// lookup returns the live entry for lid, or nil. Purely index arithmetic:
+// the per-message map lookup the old entries map paid is gone.
+//
+//puno:hot
+func (d *Directory) lookup(lid mem.LineID) *dirEntry {
+	if i := int(lid); i > 0 && i <= len(d.idx) {
+		if s := d.idx[i-1]; s != 0 {
+			return &d.slab[s-1]
 		}
-		d.entries[l] = e
 	}
+	return nil
+}
+
+// ensureIdx extends the slot index to cover lid. Slots re-exposed from
+// retained capacity were zeroed by Reset; fresh growth is zeroed by make.
+func (d *Directory) ensureIdx(lid mem.LineID) {
+	n := int(lid)
+	if n <= len(d.idx) {
+		return
+	}
+	if n <= cap(d.idx) {
+		d.idx = d.idx[:n]
+		return
+	}
+	ni := make([]int32, n, 2*n)
+	copy(ni, d.idx)
+	d.idx = ni
+}
+
+// entry returns the entry for (l, lid), creating it in the dense slab on
+// first touch. Slots come from the free list, then from retained slab
+// capacity, then from growth; a recycled slot's pending-queue array is
+// reused. Callers must not hold an entry pointer across a call that can
+// create a different line's entry (slab growth moves the values); the
+// handlers create at most one entry, at dispatch, so this never happens.
+//
+//puno:hot
+func (d *Directory) entry(l mem.Line, lid mem.LineID) *dirEntry {
+	d.ensureIdx(lid)
+	if s := d.idx[lid-1]; s != 0 {
+		return &d.slab[s-1]
+	}
+	var s int32
+	switch {
+	case len(d.free) > 0:
+		s = d.free[len(d.free)-1]
+		d.free = d.free[:len(d.free)-1]
+	case len(d.slab) < cap(d.slab):
+		s = int32(len(d.slab))
+		d.slab = d.slab[:len(d.slab)+1]
+	default:
+		d.slab = append(d.slab, dirEntry{})
+		s = int32(len(d.slab) - 1)
+	}
+	e := &d.slab[s]
+	*e = dirEntry{line: l, lid: lid, state: DirInvalid, owner: -1, unicastTo: -1, pending: e.pending[:0]}
+	d.idx[lid-1] = s + 1
 	return e
 }
 
 // recycleIfIdle drops an entry that has returned to the directory's
-// default state (Invalid, not busy, nothing parked) and free-lists it for
-// the next cold line. State() on a dropped line reports DirInvalid, which
-// is exactly what the entry said.
-func (d *Directory) recycleIfIdle(l mem.Line, e *dirEntry) {
+// default state (Invalid, not busy, nothing parked) and free-lists its
+// slot for the next cold line. State() on a dropped line reports
+// DirInvalid, which is exactly what the entry said.
+//
+//puno:hot
+func (d *Directory) recycleIfIdle(e *dirEntry) {
 	if e.busy || e.state != DirInvalid || len(e.pending) > 0 {
 		return
 	}
-	delete(d.entries, l)
-	d.freeEntries = append(d.freeEntries, e)
+	s := d.idx[e.lid-1]
+	d.idx[e.lid-1] = 0
+	d.free = append(d.free, s-1)
 }
 
 // sharerList builds a fresh sharer slice (diagnostic paths: State,
 // BusyEntries callers). Hot paths use sharersScratch instead.
 func (d *Directory) sharerList(mask uint64, exclude int) []int {
 	var out []int
-	for n := 0; n < d.nodes; n++ {
-		if n != exclude && mask&(1<<uint(n)) != 0 {
+	for msk := mask; msk != 0; msk &= msk - 1 {
+		if n := bits.TrailingZeros64(msk); n != exclude {
 			out = append(out, n)
 		}
 	}
@@ -295,10 +361,14 @@ func (d *Directory) sharerList(mask uint64, exclude int) []int {
 // sharersScratch builds the sharer list into the directory's reusable
 // scratch buffer. The result is only valid until the next call and must
 // not be retained by callees (the predictor copies what it needs).
+// Iterating set bits directly (rather than scanning all node positions)
+// keeps the cost proportional to the sharer count, which is usually 0-2.
+//
+//puno:hot
 func (d *Directory) sharersScratch(mask uint64, exclude int) []int {
 	out := d.sharerScratch[:0]
-	for n := 0; n < d.nodes; n++ {
-		if n != exclude && mask&(1<<uint(n)) != 0 {
+	for msk := mask; msk != 0; msk &= msk - 1 {
+		if n := bits.TrailingZeros64(msk); n != exclude {
 			out = append(out, n)
 		}
 	}
@@ -308,6 +378,12 @@ func (d *Directory) sharersScratch(mask uint64, exclude int) []int {
 
 // Handle processes one incoming message addressed to this directory.
 func (d *Directory) Handle(m *Msg) {
+	if m.LID == 0 {
+		// Senders inside the machine always carry the interned ID; this
+		// interns on behalf of isolated-test callers (and any genuinely
+		// first-touch message), so every handler below can index densely.
+		m.LID = d.it.Intern(m.Line)
+	}
 	switch m.Type {
 	case MsgGETS:
 		d.handleGETS(m)
@@ -344,7 +420,7 @@ func (d *Directory) send(delay sim.Time, m Msg) {
 func (d *Directory) nackBusy(m *Msg) {
 	d.stats.BusyNacks++
 	d.send(d.DirLatency, Msg{
-		Type: MsgNackBusy, Line: m.Line, Src: d.node, Dst: m.Src,
+		Type: MsgNackBusy, Line: m.Line, LID: m.LID, Src: d.node, Dst: m.Src,
 		Requester: m.Src, ReqID: m.ReqID,
 	})
 }
@@ -364,7 +440,7 @@ func (d *Directory) park(e *dirEntry, m *Msg) {
 
 func (d *Directory) handleGETS(m *Msg) {
 	d.observe(m)
-	e := d.entry(m.Line)
+	e := d.entry(m.Line, m.LID)
 	if e.busy {
 		d.park(e, m)
 		return
@@ -373,11 +449,11 @@ func (d *Directory) handleGETS(m *Msg) {
 	switch e.state {
 	case DirInvalid, DirShared:
 		// Serviced entirely at the home node: read L2, add sharer, reply.
-		data, lat := d.env.LineData(m.Line)
+		data, lat := d.env.LineData(m.Line, m.LID)
 		e.state = DirShared
 		e.sharers |= 1 << uint(m.Src)
 		d.send(d.DirLatency+lat, Msg{
-			Type: MsgData, Line: m.Line, Src: d.node, Dst: m.Src,
+			Type: MsgData, Line: m.Line, LID: m.LID, Src: d.node, Dst: m.Src,
 			Requester: m.Src, ReqID: m.ReqID, Data: data, HasData: true,
 		})
 		d.updateUD(e, m.Line)
@@ -387,7 +463,7 @@ func (d *Directory) handleGETS(m *Msg) {
 		d.beginBusy(e, m, false)
 		e.waitWB = true
 		d.send(d.DirLatency, Msg{
-			Type: MsgFwdGETS, Line: m.Line, Src: d.node, Dst: e.owner,
+			Type: MsgFwdGETS, Line: m.Line, LID: m.LID, Src: d.node, Dst: e.owner,
 			Requester: m.Src, ReqID: m.ReqID, IsTx: m.IsTx, Prio: m.Prio,
 			IsWrite: false,
 		})
@@ -396,7 +472,7 @@ func (d *Directory) handleGETS(m *Msg) {
 
 func (d *Directory) handleGETX(m *Msg) {
 	d.observe(m)
-	e := d.entry(m.Line)
+	e := d.entry(m.Line, m.LID)
 	if e.busy {
 		// Writes are rejected rather than parked: a failed GETX retries
 		// through the requester's backoff policy anyway, and parking it
@@ -414,9 +490,9 @@ func (d *Directory) handleGETX(m *Msg) {
 	switch e.state {
 	case DirInvalid:
 		d.beginBusy(e, m, true)
-		data, lat := d.env.LineData(m.Line)
+		data, lat := d.env.LineData(m.Line, m.LID)
 		d.send(d.DirLatency+lat, Msg{
-			Type: MsgData, Line: m.Line, Src: d.node, Dst: m.Src,
+			Type: MsgData, Line: m.Line, LID: m.LID, Src: d.node, Dst: m.Src,
 			Requester: m.Src, ReqID: m.ReqID, Data: data, HasData: true,
 			AckCount: 0,
 		})
@@ -435,7 +511,7 @@ func (d *Directory) handleGETX(m *Msg) {
 				d.stats.UnicastForwards++
 				e.unicastTo = dest
 				d.send(d.DirLatency+d.pred.DecisionLatency(), Msg{
-					Type: MsgFwdGETX, Line: m.Line, Src: d.node, Dst: dest,
+					Type: MsgFwdGETX, Line: m.Line, LID: m.LID, Src: d.node, Dst: dest,
 					Requester: m.Src, ReqID: m.ReqID, IsTx: m.IsTx,
 					Prio: m.Prio, IsWrite: true, UBit: true,
 				})
@@ -450,28 +526,28 @@ func (d *Directory) handleGETX(m *Msg) {
 		d.stats.MulticastFwds += uint64(len(targets))
 		for _, t := range targets {
 			d.send(d.DirLatency+extra, Msg{
-				Type: MsgFwdGETX, Line: m.Line, Src: d.node, Dst: t,
+				Type: MsgFwdGETX, Line: m.Line, LID: m.LID, Src: d.node, Dst: t,
 				Requester: m.Src, ReqID: m.ReqID, IsTx: m.IsTx, Prio: m.Prio,
 				IsWrite: true,
 			})
 		}
 		if m.NeedData || e.sharers&(1<<uint(m.Src)) == 0 {
-			data, lat := d.env.LineData(m.Line)
+			data, lat := d.env.LineData(m.Line, m.LID)
 			d.send(d.DirLatency+extra+lat, Msg{
-				Type: MsgData, Line: m.Line, Src: d.node, Dst: m.Src,
+				Type: MsgData, Line: m.Line, LID: m.LID, Src: d.node, Dst: m.Src,
 				Requester: m.Src, ReqID: m.ReqID, Data: data, HasData: true,
 				AckCount: len(targets),
 			})
 		} else {
 			d.send(d.DirLatency+extra, Msg{
-				Type: MsgAckCount, Line: m.Line, Src: d.node, Dst: m.Src,
+				Type: MsgAckCount, Line: m.Line, LID: m.LID, Src: d.node, Dst: m.Src,
 				Requester: m.Src, ReqID: m.ReqID, AckCount: len(targets),
 			})
 		}
 	case DirModified:
 		d.beginBusy(e, m, true)
 		d.send(d.DirLatency, Msg{
-			Type: MsgFwdGETX, Line: m.Line, Src: d.node, Dst: e.owner,
+			Type: MsgFwdGETX, Line: m.Line, LID: m.LID, Src: d.node, Dst: e.owner,
 			Requester: m.Src, ReqID: m.ReqID, IsTx: m.IsTx, Prio: m.Prio,
 			IsWrite: true,
 		})
@@ -481,16 +557,16 @@ func (d *Directory) handleGETX(m *Msg) {
 // grantNoSharers completes a GETX that needs no invalidations.
 func (d *Directory) grantNoSharers(e *dirEntry, m *Msg) {
 	if m.NeedData {
-		data, lat := d.env.LineData(m.Line)
+		data, lat := d.env.LineData(m.Line, m.LID)
 		d.send(d.DirLatency+lat, Msg{
-			Type: MsgData, Line: m.Line, Src: d.node, Dst: m.Src,
+			Type: MsgData, Line: m.Line, LID: m.LID, Src: d.node, Dst: m.Src,
 			Requester: m.Src, ReqID: m.ReqID, Data: data, HasData: true,
 			AckCount: 0,
 		})
 		return
 	}
 	d.send(d.DirLatency, Msg{
-		Type: MsgAckCount, Line: m.Line, Src: d.node, Dst: m.Src,
+		Type: MsgAckCount, Line: m.Line, LID: m.LID, Src: d.node, Dst: m.Src,
 		Requester: m.Src, ReqID: m.ReqID, AckCount: 0,
 	})
 }
@@ -514,7 +590,7 @@ func (d *Directory) beginBusy(e *dirEntry, m *Msg, isGETX bool) {
 }
 
 func (d *Directory) handleUnblock(m *Msg) {
-	e := d.entry(m.Line)
+	e := d.entry(m.Line, m.LID)
 	if !e.busy {
 		panic(fmt.Sprintf("coherence: UNBLOCK for non-busy line %v at dir %d", m.Line, d.node))
 	}
@@ -531,8 +607,8 @@ func (d *Directory) handleUnblock(m *Msg) {
 }
 
 func (d *Directory) handleWBData(m *Msg) {
-	e := d.entry(m.Line)
-	d.env.StoreLine(m.Line, m.Data)
+	e := d.entry(m.Line, m.LID)
+	d.env.StoreLine(m.Line, m.LID, m.Data)
 	if e.busy && e.waitWB {
 		e.gotWB = true
 		d.tryComplete(m.Line, e)
@@ -540,24 +616,24 @@ func (d *Directory) handleWBData(m *Msg) {
 }
 
 func (d *Directory) handlePUTX(m *Msg) {
-	e := d.entry(m.Line)
+	e := d.entry(m.Line, m.LID)
 	if e.busy || e.state != DirModified || e.owner != m.Src {
 		// Raced with a forward (or is stale): the owner must keep serving
 		// the in-flight forward from its retained copy.
 		d.send(d.DirLatency, Msg{
-			Type: MsgWBStale, Line: m.Line, Src: d.node, Dst: m.Src,
+			Type: MsgWBStale, Line: m.Line, LID: m.LID, Src: d.node, Dst: m.Src,
 		})
 		return
 	}
 	d.stats.Writebacks++
-	d.env.StoreLine(m.Line, m.Data)
+	d.env.StoreLine(m.Line, m.LID, m.Data)
 	e.state = DirInvalid
 	e.sharers = 0
 	e.owner = -1
 	d.send(d.DirLatency, Msg{
-		Type: MsgWBAck, Line: m.Line, Src: d.node, Dst: m.Src,
+		Type: MsgWBAck, Line: m.Line, LID: m.LID, Src: d.node, Dst: m.Src,
 	})
-	d.recycleIfIdle(m.Line, e)
+	d.recycleIfIdle(e)
 }
 
 func (d *Directory) tryComplete(l mem.Line, e *dirEntry) {

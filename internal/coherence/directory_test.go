@@ -27,10 +27,11 @@ func (e *mockEnv) Send(delay sim.Time, m *Msg) {
 	e.sent = append(e.sent, m)
 	e.delays = append(e.delays, delay)
 }
-func (e *mockEnv) LineData(l mem.Line) (mem.LineData, sim.Time) {
-	return e.backing.Load(l), e.l2Lat
+func (e *mockEnv) Interner() *mem.Interner { return e.backing.Interner() }
+func (e *mockEnv) LineData(l mem.Line, id mem.LineID) (mem.LineData, sim.Time) {
+	return e.backing.LoadID(id), e.l2Lat
 }
-func (e *mockEnv) StoreLine(l mem.Line, d mem.LineData) { e.backing.Store(l, d) }
+func (e *mockEnv) StoreLine(l mem.Line, id mem.LineID, d mem.LineData) { e.backing.StoreID(id, d) }
 
 func (e *mockEnv) take() []*Msg {
 	out := e.sent

@@ -60,8 +60,12 @@ func (t MsgType) String() string {
 type Msg struct {
 	Type MsgType
 	Line mem.Line
-	Src  int // sending node
-	Dst  int // receiving node
+	// LID is Line's interned dense ID (0 when the sender did not know it —
+	// the directory interns on arrival). Carrying it on every message lets
+	// the receiving controller index its dense tables without hashing.
+	LID mem.LineID
+	Src int // sending node
+	Dst int // receiving node
 
 	// Requester identity, threaded through forwards so sharers respond
 	// directly to the requester (3-hop protocol).

@@ -59,7 +59,6 @@ type Predictor struct {
 	cfg     PredictorConfig
 	clock   func() sim.Time
 	pbuf    []pbufEntry
-	ud      map[mem.Line]int
 	avgLen  float64 // EWMA of requester-piggybacked average tx lengths
 	nextDec sim.Time
 	// confidence is an EWMA of unicast accuracy and benefit an EWMA of how
@@ -105,7 +104,6 @@ func NewPredictor(cfg PredictorConfig, clock func() sim.Time) *Predictor {
 		cfg:        cfg,
 		clock:      clock,
 		pbuf:       make([]pbufEntry, cfg.Nodes),
-		ud:         make(map[mem.Line]int),
 		confidence: 1,
 	}
 }
@@ -222,7 +220,6 @@ func (p *Predictor) PredictUnicast(l mem.Line, sharers []int, reqNode int, reqPr
 		p.FallbackInvalid++
 		return 0, false
 	}
-	p.ud[l] = best
 	if !htm.Older(p.pbuf[best].prio, best, reqPrio, reqNode) {
 		p.Multicasts++
 		p.FallbackReqOlder++
@@ -239,24 +236,15 @@ func (p *Predictor) PredictUnicast(l mem.Line, sharers []int, reqNode int, reqPr
 	return best, true
 }
 
-// UpdateUD implements coherence.Predictor: recompute the line's UD pointer
-// as the sharer with the highest valid priority. Off the critical path.
+// UpdateUD implements coherence.Predictor. In hardware this recomputes the
+// line's stored UD pointer after every directory service; the model instead
+// recomputes the pointer from the sharer set at decision time (see
+// PredictUnicast), which is behaviourally identical because every pointer
+// write is followed by a recomputation before its next read. Only the
+// update count — the paper's off-critical-path traffic metric — is kept;
+// a per-line pointer table here would be write-only state on the hot path.
 func (p *Predictor) UpdateUD(l mem.Line, sharers []int) {
 	p.UDUpdates++
-	best, found := -1, false
-	for _, s := range sharers {
-		if p.pbuf[s].validity == 0 {
-			continue
-		}
-		if !found || htm.Older(p.pbuf[s].prio, s, p.pbuf[best].prio, best) {
-			best, found = s, true
-		}
-	}
-	if !found {
-		delete(p.ud, l)
-		return
-	}
-	p.ud[l] = best
 }
 
 // Misprediction implements coherence.Predictor: the UNBLOCK MP feedback

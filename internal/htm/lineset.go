@@ -3,106 +3,76 @@ package htm
 import "repro/internal/mem"
 
 // lineSet is an exact set of cache lines built for the transaction hot
-// path: membership tests and inserts without per-transaction heap
-// allocation. It pairs an insertion-ordered slice (deterministic iteration,
-// O(1) size) with a small open-addressed index keyed by the line address,
-// and Reset reuses both between transaction attempts instead of
-// re-make-ing maps — the software analogue of the fixed read/write-set
-// structures bounded HTM designs use in hardware.
+// path: membership tests and inserts without hashing or per-transaction
+// heap allocation. It pairs an insertion-ordered slice (deterministic
+// iteration, O(1) size) with a membership bitmap indexed by the machine's
+// dense LineID, so Add/Contains are a shift, a mask, and one word load —
+// the software analogue of the fixed read/write-set structures bounded HTM
+// designs use in hardware. Reset clears only the member bits (cost
+// proportional to the set size, not the bitmap), keeping every backing
+// array for reuse between attempts.
 type lineSet struct {
-	lines []mem.Line // insertion order; iterate this
-	tab   []int32    // open addressing: index into lines, +1 encoded; 0 = empty
-	mask  uint32
+	lines []mem.Line   // insertion order; iterate this
+	ids   []mem.LineID // parallel to lines: each member's interned ID
+	bits  []uint64     // membership bitmap, bit id set when id is a member
 }
 
-// hashLine mixes a line address (low 6 offset bits are always zero) into a
-// table slot. Fibonacci hashing on the line number spreads the arithmetic
-// strides workload generators produce.
-func hashLine(l mem.Line) uint32 {
-	x := uint64(l) >> 6
-	x *= 0x9E3779B97F4A7C15
-	return uint32(x >> 32)
+// ensureBits extends the bitmap to cover id. The bitmap only ever grows
+// (Reset clears bits without truncating), so extension is always into
+// zeroed memory.
+func (s *lineSet) ensureBits(id mem.LineID) {
+	w := int(uint32(id) >> 6)
+	if w < len(s.bits) {
+		return
+	}
+	n := w + 1
+	if n < 4 {
+		n = 4
+	}
+	if n <= cap(s.bits) {
+		s.bits = s.bits[:n]
+		return
+	}
+	nb := make([]uint64, n, 2*n)
+	copy(nb, s.bits)
+	s.bits = nb
 }
 
-const lineSetMinTab = 16
-
-// grow (re)builds the index at the given power-of-two size and rehashes the
-// current members.
-func (s *lineSet) grow(size int) {
-	if cap(s.tab) >= size {
-		s.tab = s.tab[:size]
-		for i := range s.tab {
-			s.tab[i] = 0
-		}
-	} else {
-		s.tab = make([]int32, size)
+// AddID inserts l (whose interned ID is id, which must be nonzero) and
+// reports whether it was newly added.
+//
+//puno:hot
+func (s *lineSet) AddID(l mem.Line, id mem.LineID) bool {
+	s.ensureBits(id)
+	w, b := int(uint32(id)>>6), uint64(1)<<(uint32(id)&63)
+	if s.bits[w]&b != 0 {
+		return false
 	}
-	s.mask = uint32(size - 1)
-	for i, l := range s.lines {
-		s.place(l, int32(i+1))
-	}
-}
-
-// place inserts an encoded index for l into the first free probe slot.
-func (s *lineSet) place(l mem.Line, enc int32) {
-	i := hashLine(l) & s.mask
-	for s.tab[i] != 0 {
-		i = (i + 1) & s.mask
-	}
-	s.tab[i] = enc
-}
-
-// Add inserts l and reports whether it was newly added.
-func (s *lineSet) Add(l mem.Line) bool {
-	if s.tab == nil {
-		s.grow(lineSetMinTab)
-	}
-	i := hashLine(l) & s.mask
-	for {
-		v := s.tab[i]
-		if v == 0 {
-			break
-		}
-		if s.lines[v-1] == l {
-			return false
-		}
-		i = (i + 1) & s.mask
-	}
+	s.bits[w] |= b
 	s.lines = append(s.lines, l)
-	// Keep load factor under 1/2 so probes stay short.
-	if 2*len(s.lines) >= len(s.tab) {
-		s.grow(2 * len(s.tab))
-	} else {
-		s.tab[i] = int32(len(s.lines))
-	}
+	s.ids = append(s.ids, id)
 	return true
 }
 
-// Contains reports membership of l.
-func (s *lineSet) Contains(l mem.Line) bool {
-	if len(s.lines) == 0 {
-		return false
-	}
-	i := hashLine(l) & s.mask
-	for {
-		v := s.tab[i]
-		if v == 0 {
-			return false
-		}
-		if s.lines[v-1] == l {
-			return true
-		}
-		i = (i + 1) & s.mask
-	}
+// ContainsID reports membership of the line with interned ID id. The zero
+// (unknown) ID is never a member: IDs start at 1, and the only line whose
+// low bits alias bit 0 of a word is id 64, which lands in word 1.
+//
+//puno:hot
+func (s *lineSet) ContainsID(id mem.LineID) bool {
+	w := int(uint32(id) >> 6)
+	return w < len(s.bits) && s.bits[w]&(1<<(uint32(id)&63)) != 0
 }
 
 // Len returns the number of members.
 func (s *lineSet) Len() int { return len(s.lines) }
 
-// Reset empties the set, keeping both backing arrays for reuse.
+// Reset empties the set, keeping all backing arrays for reuse. Only the
+// members' bits are cleared, so the cost tracks the set size.
 func (s *lineSet) Reset() {
-	s.lines = s.lines[:0]
-	for i := range s.tab {
-		s.tab[i] = 0
+	for _, id := range s.ids {
+		s.bits[uint32(id)>>6] &^= 1 << (uint32(id) & 63)
 	}
+	s.lines = s.lines[:0]
+	s.ids = s.ids[:0]
 }

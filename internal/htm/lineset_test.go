@@ -7,10 +7,12 @@ import (
 	"repro/internal/sim"
 )
 
-// TestLineSetMatchesMap drives the flat set and a reference map with the
-// same random add/contains/reset stream.
+// TestLineSetMatchesMap drives the flat bitmap set and a reference map with
+// the same random add/contains/reset stream, the lines interned the way the
+// machine layer does it.
 func TestLineSetMatchesMap(t *testing.T) {
 	rng := sim.NewRNG(11)
+	it := mem.NewInterner()
 	var s lineSet
 	ref := map[mem.Line]bool{}
 	for step := 0; step < 20000; step++ {
@@ -20,14 +22,14 @@ func TestLineSetMatchesMap(t *testing.T) {
 			s.Reset()
 			ref = map[mem.Line]bool{}
 		case 1, 2, 3, 4:
-			added := s.Add(l)
+			added := s.AddID(l, it.Intern(l))
 			if added == ref[l] {
-				t.Fatalf("step %d: Add(%v) = %v with ref membership %v", step, l, added, ref[l])
+				t.Fatalf("step %d: AddID(%v) = %v with ref membership %v", step, l, added, ref[l])
 			}
 			ref[l] = true
 		default:
-			if got := s.Contains(l); got != ref[l] {
-				t.Fatalf("step %d: Contains(%v) = %v, want %v", step, l, got, ref[l])
+			if got := s.ContainsID(it.Lookup(l)); got != ref[l] {
+				t.Fatalf("step %d: ContainsID(%v) = %v, want %v", step, l, got, ref[l])
 			}
 		}
 		if s.Len() != len(ref) {
@@ -39,10 +41,11 @@ func TestLineSetMatchesMap(t *testing.T) {
 // TestLineSetInsertionOrder pins the deterministic iteration order the
 // machine layer (and trace output) now relies on.
 func TestLineSetInsertionOrder(t *testing.T) {
+	it := mem.NewInterner()
 	var s lineSet
 	want := []mem.Line{0x1c0, 0x40, 0x0, 0x8000, 0x40 /* dup */, 0x200}
 	for _, l := range want {
-		s.Add(l)
+		s.AddID(l, it.Intern(l))
 	}
 	dedup := []mem.Line{0x1c0, 0x40, 0x0, 0x8000, 0x200}
 	if len(s.lines) != len(dedup) {
@@ -52,6 +55,21 @@ func TestLineSetInsertionOrder(t *testing.T) {
 		if s.lines[i] != l {
 			t.Fatalf("lines[%d] = %v, want %v", i, s.lines[i], l)
 		}
+		if s.ids[i] != it.Lookup(l) {
+			t.Fatalf("ids[%d] = %d, want %d", i, s.ids[i], it.Lookup(l))
+		}
+	}
+}
+
+// TestLineSetZeroIDNeverMember pins the sentinel: the zero (uninterned)
+// LineID must never test as a member, whatever bits real members set.
+func TestLineSetZeroIDNeverMember(t *testing.T) {
+	var s lineSet
+	for id := mem.LineID(1); id <= 200; id++ {
+		s.AddID(mem.Line(uint64(id)*mem.LineBytes), id)
+		if s.ContainsID(0) {
+			t.Fatalf("ContainsID(0) = true after adding id %d", id)
+		}
 	}
 }
 
@@ -59,10 +77,12 @@ func TestLineSetInsertionOrder(t *testing.T) {
 // fill/reset cycles allocate nothing — the property Begin/FinishAbort rely
 // on across transaction retries.
 func TestLineSetSteadyStateAllocFree(t *testing.T) {
+	it := mem.NewInterner()
 	var s lineSet
 	fill := func() {
 		for i := 0; i < 64; i++ {
-			s.Add(mem.Line(i * mem.LineBytes))
+			l := mem.Line(i * mem.LineBytes)
+			s.AddID(l, it.Intern(l))
 		}
 		s.Reset()
 	}

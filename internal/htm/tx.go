@@ -105,11 +105,29 @@ type Tx struct {
 	Attempts     int      // 1 on first execution, +1 per retry
 	sig          *Signature
 	useSignature bool
+
+	// it translates Lines to the dense LineIDs the conflict sets are
+	// indexed by. The machine shares its interner via SetInterner; a Tx
+	// used standalone (tests) lazily creates a private one.
+	it *mem.Interner
 }
 
 // NewTx returns an idle transaction context for a node.
 func NewTx(node int) *Tx {
 	return &Tx{Node: node, Status: StatusIdle}
+}
+
+// SetInterner shares the machine-wide line interner, so the IDs carried by
+// coherence messages index this transaction's conflict sets directly.
+func (t *Tx) SetInterner(it *mem.Interner) { t.it = it }
+
+// interner returns the shared interner, creating a private one on first
+// use when none was provided (standalone tests).
+func (t *Tx) interner() *mem.Interner {
+	if t.it == nil {
+		t.it = mem.NewInterner()
+	}
+	return t.it
 }
 
 // UseSignatures switches conflict tracking to Bloom-filter signatures of the
@@ -182,9 +200,18 @@ func (t *Tx) Running() bool { return t.Status == StatusRunning }
 func (t *Tx) InFlight() bool { return t.Status == StatusRunning || t.Status == StatusAborting }
 
 // RecordRead adds l to the read set.
-func (t *Tx) RecordRead(l mem.Line) {
+func (t *Tx) RecordRead(l mem.Line) { t.RecordReadID(l, 0) }
+
+// RecordReadID adds l, whose interned ID is id (0 when the caller does not
+// know it), to the read set.
+//
+//puno:hot
+func (t *Tx) RecordReadID(l mem.Line, id mem.LineID) {
 	t.mustRun("RecordRead")
-	t.readSet.Add(l)
+	if id == 0 {
+		id = t.interner().Intern(l)
+	}
+	t.readSet.AddID(l, id)
 	if t.sig != nil {
 		t.sig.InsertRead(l)
 	}
@@ -193,8 +220,19 @@ func (t *Tx) RecordRead(l mem.Line) {
 // RecordWrite adds l to the write set and logs the old value of the word
 // about to be overwritten.
 func (t *Tx) RecordWrite(l mem.Line, a mem.Addr, old uint64) {
+	t.RecordWriteID(l, 0, a, old)
+}
+
+// RecordWriteID is RecordWrite with l's interned ID carried by the caller
+// (0 when unknown).
+//
+//puno:hot
+func (t *Tx) RecordWriteID(l mem.Line, id mem.LineID, a mem.Addr, old uint64) {
 	t.mustRun("RecordWrite")
-	t.writeSet.Add(l)
+	if id == 0 {
+		id = t.interner().Intern(l)
+	}
+	t.writeSet.AddID(l, id)
 	if t.sig != nil {
 		t.sig.InsertWrite(l)
 	}
@@ -209,19 +247,38 @@ func (t *Tx) mustRun(op string) {
 
 // InReadSet reports whether l is (possibly, if signatures are enabled) in
 // the read set.
-func (t *Tx) InReadSet(l mem.Line) bool {
+func (t *Tx) InReadSet(l mem.Line) bool { return t.InReadSetID(l, 0) }
+
+// InReadSetID is InReadSet with l's interned ID carried by the caller (0
+// when unknown; a line that was never interned cannot be a member).
+// Signature mode still hashes the raw line, exactly as the modeled
+// hardware would.
+//
+//puno:hot
+func (t *Tx) InReadSetID(l mem.Line, id mem.LineID) bool {
 	if t.useSignature {
 		return t.sig.TestRead(l)
 	}
-	return t.readSet.Contains(l)
+	if id == 0 {
+		id = t.interner().Lookup(l)
+	}
+	return t.readSet.ContainsID(id)
 }
 
 // InWriteSet reports whether l is (possibly) in the write set.
-func (t *Tx) InWriteSet(l mem.Line) bool {
+func (t *Tx) InWriteSet(l mem.Line) bool { return t.InWriteSetID(l, 0) }
+
+// InWriteSetID is InWriteSet with l's interned ID carried by the caller.
+//
+//puno:hot
+func (t *Tx) InWriteSetID(l mem.Line, id mem.LineID) bool {
 	if t.useSignature {
 		return t.sig.TestWrite(l)
 	}
-	return t.writeSet.Contains(l)
+	if id == 0 {
+		id = t.interner().Lookup(l)
+	}
+	return t.writeSet.ContainsID(id)
 }
 
 // ConflictsWith classifies an incoming request against this transaction's
@@ -229,13 +286,24 @@ func (t *Tx) InWriteSet(l mem.Line) bool {
 // request conflicts only with write membership ("single-writer,
 // multi-reader" invariant).
 func (t *Tx) ConflictsWith(l mem.Line, isWrite bool) bool {
+	return t.ConflictsWithID(l, 0, isWrite)
+}
+
+// ConflictsWithID is ConflictsWith with l's interned ID carried by the
+// caller (0 when unknown).
+//
+//puno:hot
+func (t *Tx) ConflictsWithID(l mem.Line, id mem.LineID, isWrite bool) bool {
 	if !t.InFlight() {
 		return false
 	}
-	if isWrite {
-		return t.InReadSet(l) || t.InWriteSet(l)
+	if id == 0 && !t.useSignature {
+		id = t.interner().Lookup(l)
 	}
-	return t.InWriteSet(l)
+	if isWrite {
+		return t.InReadSetID(l, id) || t.InWriteSetID(l, id)
+	}
+	return t.InWriteSetID(l, id)
 }
 
 // ReadSetSize returns the exact read-set line count.
@@ -254,8 +322,8 @@ func (t *Tx) ForEachSetLine(fn func(l mem.Line, write bool)) {
 	for _, l := range t.writeSet.lines {
 		fn(l, true)
 	}
-	for _, l := range t.readSet.lines {
-		if !t.writeSet.Contains(l) {
+	for i, l := range t.readSet.lines {
+		if !t.writeSet.ContainsID(t.readSet.ids[i]) {
 			fn(l, false)
 		}
 	}

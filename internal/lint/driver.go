@@ -33,6 +33,7 @@ var auditedPkgs = map[string]bool{
 	"repro/internal/core":      true,
 	"repro/internal/cm":        true,
 	"repro/internal/cache":     true,
+	"repro/internal/mem":       true,
 }
 
 // noSuppressPkgs are packages where //puno:unordered and //puno:allow are
@@ -43,6 +44,11 @@ var noSuppressPkgs = map[string]bool{
 	"repro/internal/sim":     true,
 	"repro/internal/noc":     true,
 	"repro/internal/machine": true,
+	// The line interner underpins every dense table's ID assignment;
+	// per-site "order cannot matter" claims are forbidden there. Its one
+	// legitimate map iteration (the rebuild in Interner.Grow) is blessed
+	// structurally via maprangeAllowed instead.
+	"repro/internal/mem": true,
 }
 
 // audited reports whether the package is subject to the simulation-only

@@ -22,12 +22,33 @@ var MapRange = &Analyzer{
 	Run:  runMapRange,
 }
 
+// maprangeAllowed names the functions whose map iterations are blessed by
+// construction, keyed by types.Func.FullName(). Unlike a //puno:unordered
+// suppression — a per-site claim anyone can write, and which noSuppressPkgs
+// forbids — an entry here is a reviewed structural exemption: the function
+// itself must guarantee that iteration order cannot escape. The only
+// production entry is the interner's map rebuild on growth: it inserts
+// existing (line, id) pairs into a fresh map, and map insertion order does
+// not affect later lookups, so internal/mem can sit in noSuppressPkgs with
+// exactly one blessed map. The fixture entry exercises the mechanism in the
+// analyzer test suite.
+var maprangeAllowed = map[string]bool{
+	"(*repro/internal/mem.Interner).Grow":                          true,
+	"repro/internal/lint/testdata/src/maprange.allowlistedRebuild": true,
+}
+
 func runMapRange(pass *Pass) (any, error) {
 	for i, f := range pass.Files {
 		if pass.isTestFile(i) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok && maprangeAllowed[fn.FullName()] {
+					return false // entire body is blessed by construction
+				}
+				return true
+			}
 			rs, ok := n.(*ast.RangeStmt)
 			if !ok {
 				return true

@@ -47,7 +47,7 @@ func (m *Machine) DumpState(w io.Writer) {
 				fmt.Fprintf(w, " %d:%v(pin=%v,rs=%v,ws=%v)", h.id, e.State, e.Pinned,
 					h.tx.InFlight() && h.tx.InReadSet(l), h.tx.InFlight() && h.tx.InWriteSet(l))
 			}
-			if _, wb := h.wbWait[l]; wb {
+			if h.wbWait.has(l) {
 				fmt.Fprintf(w, " %d:WB", h.id)
 			}
 		}

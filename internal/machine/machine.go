@@ -3,12 +3,12 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/cm"
 	"repro/internal/coherence"
 	"repro/internal/core"
-	"repro/internal/detmap"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/sim"
@@ -23,16 +23,33 @@ type Machine struct {
 	mesh    *noc.Mesh
 	home    mem.HomeMap
 	backing *mem.Backing
-	l2Seen  map[mem.Line]bool
 	nodes   []*node
 	dirs    []*coherence.Directory
 	preds   []*core.Predictor
 	rootRNG *sim.RNG
 
-	res        Result
-	active     int
-	incrCounts map[mem.Addr]uint64
+	// it is the machine-wide line interner: every memory-system table below
+	// (backing store, directory slabs, l2Seen, incrCounts, HTM conflict
+	// sets) is a dense slice indexed by the LineIDs it assigns, and every
+	// coherence message carries its line's ID so no hot path hashes a line
+	// address. Reset re-assigns IDs from scratch (retaining capacity), so a
+	// reused arena and a fresh machine produce identical ID streams.
+	it *mem.Interner
+	// l2Seen[id-1] marks lines whose first L2 access (cold miss at memory
+	// latency) already happened.
+	l2Seen []bool
+
+	res    Result
+	active int
+	// incrCounts is the serializability oracle's commit ledger, flat over
+	// (LineID, word): index (id-1)*WordsPerLine + word.
+	incrCounts []uint64
 	runErr     error
+
+	// CheckInvariants scratch, reused across calls: per-LineID holder
+	// buckets plus the list of IDs touched by the current scan.
+	invHolders [][]invHolder
+	invTouched []mem.LineID
 
 	// Controller next-free times (occupancy queueing).
 	dirFree []sim.Time
@@ -100,18 +117,45 @@ func (e dirEnv) Send(delay sim.Time, msg *coherence.Msg) {
 	e.m.eng.AfterEvent(delay, e.m, msg, mevSend<<32)
 }
 
-func (e dirEnv) LineData(l mem.Line) (mem.LineData, sim.Time) {
+func (e dirEnv) Interner() *mem.Interner { return e.m.it }
+
+func (e dirEnv) LineData(l mem.Line, id mem.LineID) (mem.LineData, sim.Time) {
 	lat := e.m.cfg.L2HitLatency
-	if !e.m.l2Seen[l] {
-		e.m.l2Seen[l] = true
+	if !e.m.l2SeenAt(id) {
+		e.m.markL2Seen(id)
 		lat = e.m.cfg.MemLatency
 	}
-	return e.m.backing.Load(l), lat
+	return e.m.backing.LoadID(id), lat
 }
 
-func (e dirEnv) StoreLine(l mem.Line, d mem.LineData) {
-	e.m.l2Seen[l] = true
-	e.m.backing.Store(l, d)
+func (e dirEnv) StoreLine(l mem.Line, id mem.LineID, d mem.LineData) {
+	e.m.markL2Seen(id)
+	e.m.backing.StoreID(id, d)
+}
+
+// l2SeenAt reports whether the line with the given ID already took its cold
+// miss.
+//
+//puno:hot
+func (m *Machine) l2SeenAt(id mem.LineID) bool {
+	i := int(id)
+	return i > 0 && i <= len(m.l2Seen) && m.l2Seen[i-1]
+}
+
+// markL2Seen extends the table as needed (within-capacity slots were zeroed
+// by Reset; fresh growth is zeroed by make).
+func (m *Machine) markL2Seen(id mem.LineID) {
+	n := int(id)
+	if n > len(m.l2Seen) {
+		if n <= cap(m.l2Seen) {
+			m.l2Seen = m.l2Seen[:n]
+		} else {
+			ns := make([]bool, n, 2*n)
+			copy(ns, m.l2Seen)
+			m.l2Seen = ns
+		}
+	}
+	m.l2Seen[n-1] = true
 }
 
 // New builds a machine running wl under cfg. The backing memory starts
@@ -148,26 +192,27 @@ func (m *Machine) Reset(cfg Config, wl Workload) error {
 		m.eng.Reset()
 	}
 	m.home = mem.NewHomeMap(cfg.Nodes)
+	if m.it == nil {
+		m.it = mem.NewInterner()
+	} else {
+		m.it.Reset()
+	}
+	if fh, ok := wl.(FootprintHinter); ok {
+		m.it.Grow(fh.FootprintLines(cfg.Nodes))
+	}
 	if m.backing == nil {
-		m.backing = mem.NewBacking()
+		m.backing = mem.NewBackingOn(m.it)
 	} else {
 		m.backing.Reset()
 	}
-	if m.l2Seen == nil {
-		m.l2Seen = make(map[mem.Line]bool)
-	} else {
-		clear(m.l2Seen)
-	}
+	clear(m.l2Seen[:cap(m.l2Seen)])
+	m.l2Seen = m.l2Seen[:0]
 	if m.rootRNG == nil {
 		m.rootRNG = sim.NewRNG(cfg.Seed)
 	} else {
 		m.rootRNG.Reseed(cfg.Seed)
 	}
-	if m.incrCounts == nil {
-		m.incrCounts = make(map[mem.Addr]uint64)
-	} else {
-		clear(m.incrCounts)
-	}
+	m.incrCounts = m.incrCounts[:0]
 	if m.mesh == nil {
 		m.mesh = noc.New(cfg.Mesh, m.eng)
 	} else {
@@ -384,9 +429,21 @@ func (m *Machine) threadDone() { m.active-- }
 func (m *Machine) noteCommit(_ *node, tx TxInstance) {
 	for _, op := range tx.Ops {
 		if op.Kind == OpIncr {
-			m.incrCounts[op.Addr]++
+			id := m.it.Intern(mem.LineOf(op.Addr))
+			m.bumpIncr(id, mem.WordIndex(op.Addr))
 		}
 	}
+}
+
+// bumpIncr counts one committed increment of the given line/word, growing
+// the flat ledger as needed (appended zeros, so retained capacity never
+// resurrects stale counts).
+func (m *Machine) bumpIncr(id mem.LineID, w int) {
+	i := (int(id)-1)*mem.WordsPerLine + w
+	for len(m.incrCounts) <= i {
+		m.incrCounts = append(m.incrCounts, 0)
+	}
+	m.incrCounts[i]++
 }
 
 // ErrHung is returned when the simulation exceeds Config.MaxCycles.
@@ -464,8 +521,19 @@ func (m *Machine) Result() *Result { return &m.res }
 func (m *Machine) Predictors() []*core.Predictor { return m.preds }
 
 // CommittedIncrements returns how many OpIncr commits touched each address
-// (the serializability oracle).
-func (m *Machine) CommittedIncrements() map[mem.Addr]uint64 { return m.incrCounts }
+// (the serializability oracle). The map is rebuilt from the flat ledger on
+// each call; it is a test/diagnostic interface, not a hot path.
+func (m *Machine) CommittedIncrements() map[mem.Addr]uint64 {
+	out := make(map[mem.Addr]uint64, len(m.incrCounts))
+	for i, c := range m.incrCounts {
+		if c == 0 {
+			continue
+		}
+		l := m.it.LineAt(mem.LineID(i/mem.WordsPerLine) + 1)
+		out[l.Word(i%mem.WordsPerLine)] = c
+	}
+	return out
+}
 
 // DrainCaches flushes every Modified line (and any writeback in flight)
 // into the backing store so tests can inspect final memory values. Call
@@ -477,29 +545,49 @@ func (m *Machine) DrainCaches() {
 				m.backing.Store(e.Line, e.Data)
 			}
 		})
-		for _, l := range detmap.Keys(n.wbWait) {
-			m.backing.Store(l, n.wbWait[l])
+		for i, l := range n.wbWait.lines { // sorted by construction
+			m.backing.Store(l, n.wbWait.data[i])
 		}
 	}
 }
 
+// invHolder is one L1's residency of a line during an invariant scan.
+type invHolder struct {
+	node  int
+	state cache.State
+}
+
 // CheckInvariants verifies the single-writer/multiple-reader invariant
 // across all L1s and directory/cache consistency. It may be called during
-// or after a run.
+// or after a run. The scan buckets holders by interned LineID into scratch
+// retained on the machine, so invariant-checking test runs allocate nothing
+// in steady state.
 func (m *Machine) CheckInvariants() error {
-	type holder struct {
-		node  int
-		state cache.State
-	}
-	lines := make(map[mem.Line][]holder)
 	for _, n := range m.nodes {
 		n.l1.ForEach(func(e *cache.Entry) {
-			lines[e.Line] = append(lines[e.Line], holder{n.id, e.State})
+			id := m.it.Intern(e.Line)
+			for len(m.invHolders) < int(id) {
+				m.invHolders = append(m.invHolders, nil)
+			}
+			if len(m.invHolders[id-1]) == 0 {
+				m.invTouched = append(m.invTouched, id)
+			}
+			m.invHolders[id-1] = append(m.invHolders[id-1], invHolder{n.id, e.State})
 		})
 	}
-	lineKeys := detmap.Keys(lines)
-	for _, l := range lineKeys {
-		hs := lines[l]
+	defer func() {
+		for _, id := range m.invTouched {
+			m.invHolders[id-1] = m.invHolders[id-1][:0]
+		}
+		m.invTouched = m.invTouched[:0]
+	}()
+	// Deterministic (line-ordered) reporting, as the map+detmap scan gave.
+	sort.Slice(m.invTouched, func(i, j int) bool {
+		return m.it.LineAt(m.invTouched[i]) < m.it.LineAt(m.invTouched[j])
+	})
+	for _, id := range m.invTouched {
+		l := m.it.LineAt(id)
+		hs := m.invHolders[id-1]
 		owners := 0
 		for _, h := range hs {
 			if h.state == cache.Modified || h.state == cache.Exclusive {
@@ -517,9 +605,9 @@ func (m *Machine) CheckInvariants() error {
 	// exclusively, unless the entry is mid-transaction (busy) or the copy
 	// is travelling through a writeback.
 	for home, d := range m.dirs {
-		_ = home
-		for _, l := range lineKeys {
-			hs := lines[l]
+		for _, id := range m.invTouched {
+			l := m.it.LineAt(id)
+			hs := m.invHolders[id-1]
 			if m.home.Home(l) != home {
 				continue
 			}
@@ -531,7 +619,7 @@ func (m *Machine) CheckInvariants() error {
 						found = true
 					}
 				}
-				if _, wb := m.nodes[owner].wbWait[l]; wb {
+				if m.nodes[owner].wbWait.has(l) {
 					found = true
 				}
 				if !found {

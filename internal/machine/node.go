@@ -31,8 +31,9 @@ const (
 type outstanding struct {
 	id       uint64
 	line     mem.Line
-	isWrite  bool // the protocol request is a GETX
-	promoted bool // a load promoted to GETX by the RMW predictor
+	lid      mem.LineID // line's interned dense ID (assigned at issue)
+	isWrite  bool       // the protocol request is a GETX
+	promoted bool       // a load promoted to GETX by the RMW predictor
 	isTx     bool
 	home     int
 
@@ -100,7 +101,7 @@ type node struct {
 
 	// firstLoad associates line -> op index of the first load this attempt;
 	// used to train the RMW predictor when the same line is later stored.
-	firstLoad lineOpSet
+	firstLoad firstLoadTable
 	// promotedLoads associates line -> op index of loads this attempt
 	// issued as exclusive requests on the RMW predictor's advice; used to
 	// anti-train the predictor at commit when no store followed.
@@ -108,7 +109,7 @@ type node struct {
 
 	// wbWait holds Modified victims between PUTX and WBAck; the retained
 	// copy services forwards that raced with the writeback.
-	wbWait map[mem.Line]mem.LineData
+	wbWait wbTable
 
 	// wakeupSubs (PUNO-Push) records the requesters to ping when this
 	// node's transaction finishes.
@@ -131,12 +132,12 @@ type node struct {
 
 func newNode(id int, m *Machine, prog Program, mgr cm.Manager) *node {
 	n := &node{
-		id:     id,
-		m:      m,
-		l1:     cache.New(m.cfg.L1),
-		tx:     htm.NewTx(id),
-		wbWait: make(map[mem.Line]mem.LineData),
+		id: id,
+		m:  m,
+		l1: cache.New(m.cfg.L1),
+		tx: htm.NewTx(id),
 	}
+	n.tx.SetInterner(m.it)
 	n.attach(prog, mgr)
 	return n
 }
@@ -160,7 +161,9 @@ func (n *node) attach(prog Program, mgr cm.Manager) {
 func (n *node) reset(prog Program, mgr cm.Manager) {
 	n.l1.Reset(n.m.cfg.L1)
 	n.tx.HardReset(n.id)
-	clear(n.wbWait)
+	n.tx.SetInterner(n.m.it)
+	wb := n.wbWait
+	wb.reset()
 	fl, pl := n.firstLoad, n.promotedLoads
 	fl.reset()
 	pl.reset()
@@ -169,7 +172,7 @@ func (n *node) reset(prog Program, mgr cm.Manager) {
 		m:             n.m,
 		l1:            n.l1,
 		tx:            n.tx,
-		wbWait:        n.wbWait,
+		wbWait:        wb,
 		firstLoad:     fl,
 		promotedLoads: pl,
 	}
@@ -366,12 +369,10 @@ func (n *node) readPhaseDone(e *cache.Entry, a mem.Addr) {
 		n.execOp()
 		return
 	}
-	n.tx.RecordRead(l)
+	n.tx.RecordReadID(l, e.LID)
 	n.trace("read %v = %d (state %v)", l, e.Data[mem.WordIndex(a)], e.State)
 	e.Pinned = true
-	if _, seen := n.firstLoad.get(l); !seen {
-		n.firstLoad.put(l, n.opIdx)
-	}
+	n.firstLoad.record(e.LID, n.opIdx)
 	n.rdVal = e.Data[mem.WordIndex(a)]
 	if n.cur.Ops[n.opIdx].Kind == OpIncr {
 		n.phase = 1
@@ -393,11 +394,11 @@ func (n *node) writeDone(e *cache.Entry, a mem.Addr, v uint64) {
 	}
 	old := e.Data[mem.WordIndex(a)]
 	n.trace("write %v: %d -> %d", l, old, v)
-	n.tx.RecordWrite(l, a, old)
+	n.tx.RecordWriteID(l, e.LID, a, old)
 	e.Pinned = true
 	e.State = cache.Modified
 	e.Data[mem.WordIndex(a)] = v
-	if loadIdx, ok := n.firstLoad.get(l); ok {
+	if loadIdx, ok := n.firstLoad.get(e.LID); ok {
 		n.cmgr.ObserveRMW(n.cur.StaticID, loadIdx)
 	}
 	n.opDone()
@@ -413,7 +414,7 @@ func (n *node) accessRead(a mem.Addr) {
 	if e != nil {
 		if promoted && e.State == cache.Shared {
 			// Predicted RMW load with only shared permission: upgrade now.
-			n.issue(l, true, true, false)
+			n.issue(l, e.LID, true, true, false)
 			return
 		}
 		n.pendEntry, n.pendAddr = e, a
@@ -421,9 +422,9 @@ func (n *node) accessRead(a mem.Addr) {
 		return
 	}
 	if promoted {
-		n.issue(l, true, true, true)
+		n.issue(l, 0, true, true, true)
 	} else {
-		n.issue(l, false, false, true)
+		n.issue(l, 0, false, false, true)
 	}
 }
 
@@ -436,18 +437,23 @@ func (n *node) accessWrite(a mem.Addr, v uint64) {
 		return
 	}
 	if e != nil && e.State == cache.Shared {
-		n.issue(l, true, false, false) // upgrade
+		n.issue(l, e.LID, true, false, false) // upgrade
 		return
 	}
-	n.issue(l, true, false, true)
+	n.issue(l, 0, true, false, true)
 }
 
-// issue sends a GETS/GETX to the line's home directory.
-func (n *node) issue(l mem.Line, isWrite, promoted, needData bool) {
+// issue sends a GETS/GETX to the line's home directory. lid is l's interned
+// ID when the caller already holds it (upgrade paths); a miss interns here,
+// the line's single first-touch point on the request path.
+func (n *node) issue(l mem.Line, lid mem.LineID, isWrite, promoted, needData bool) {
+	if lid == 0 {
+		lid = n.m.it.Intern(l)
+	}
 	n.reqSeq++
 	home := n.m.home.Home(l)
 	n.reqBuf = outstanding{
-		id: n.reqSeq, line: l, isWrite: isWrite, promoted: promoted,
+		id: n.reqSeq, line: l, lid: lid, isWrite: isWrite, promoted: promoted,
 		isTx: true, home: home, expected: -1,
 	}
 	n.req = &n.reqBuf
@@ -460,7 +466,7 @@ func (n *node) issue(l mem.Line, isWrite, promoted, needData bool) {
 		}
 	}
 	n.m.sendMsg(coherence.Msg{
-		Type: mt, Line: l, Src: n.id, Dst: home, Requester: n.id,
+		Type: mt, Line: l, LID: lid, Src: n.id, Dst: home, Requester: n.id,
 		ReqID: n.reqSeq, IsTx: true, Prio: n.tx.Prio, IsWrite: isWrite,
 		NeedData: needData, AvgTxLen: n.txlb.GlobalAverage(),
 	})
@@ -655,7 +661,7 @@ func (n *node) completeRequest() {
 			n.accNacked = true
 			if r.abortedSharers > 0 {
 				n.accFalse = true
-				n.m.res.FalseAbortHist[r.abortedSharers]++
+				n.m.res.bumpFalseAbort(r.abortedSharers)
 			}
 		} else if r.abortedSharers > 0 {
 			n.accResolved = true
@@ -733,7 +739,7 @@ func (n *node) completeRequest() {
 		}
 		var evicted cache.Entry
 		var was bool
-		e, evicted, was = n.l1.Insert(r.line, st, r.data)
+		e, evicted, was = n.l1.InsertID(r.line, r.lid, st, r.data)
 		if e == nil {
 			// Transactional overflow: every way pinned. Fail the request
 			// so the directory restores, then abort with the penalty.
@@ -789,7 +795,7 @@ func (n *node) installPostAbort(r *outstanding) {
 	if r.isWrite {
 		st = cache.Modified
 	}
-	if e, evicted, was := n.l1.Insert(r.line, st, r.data); e != nil && was {
+	if e, evicted, was := n.l1.InsertID(r.line, r.lid, st, r.data); e != nil && was {
 		n.handleEviction(evicted)
 	}
 }
@@ -813,7 +819,7 @@ func (n *node) sendUnblock(r *outstanding, success bool) {
 		return // defensive: a GETS can only be NACKed by a sole owner
 	}
 	msg := coherence.Msg{
-		Type: coherence.MsgUnblock, Line: r.line, Src: n.id, Dst: r.home,
+		Type: coherence.MsgUnblock, Line: r.line, LID: r.lid, Src: n.id, Dst: r.home,
 		Requester: n.id, ReqID: r.id, Success: success,
 		AbortedSharers: r.abortedSharers,
 	}
@@ -834,9 +840,9 @@ func (n *node) handleEviction(v cache.Entry) {
 		return // silent eviction of clean lines
 	}
 	// Retain the data until the directory acknowledges the writeback.
-	n.wbWait[v.Line] = v.Data
+	n.wbWait.put(v.Line, v.LID, v.Data)
 	n.m.sendMsg(coherence.Msg{
-		Type: coherence.MsgPUTX, Line: v.Line, Src: n.id,
+		Type: coherence.MsgPUTX, Line: v.Line, LID: v.LID, Src: n.id,
 		Dst: n.m.home.Home(v.Line), Requester: n.id,
 		Data: v.Data, HasData: true,
 	})
@@ -849,7 +855,7 @@ func (n *node) handleEviction(v cache.Entry) {
 func (n *node) handleForward(f *coherence.Msg) {
 	l := f.Line
 	n.trace("fwd %v line %v from req%d prio=%d write=%v ubit=%v", f.Type, f.Line, f.Requester, f.Prio, f.IsWrite, f.UBit)
-	if n.tx.Running() && n.tx.ConflictsWith(l, f.IsWrite) {
+	if n.tx.Running() && n.tx.ConflictsWithID(l, f.LID, f.IsWrite) {
 		if htm.Older(n.tx.Prio, n.id, f.Prio, f.Requester) {
 			// We win: NACK, with a T_est notification when the scheme
 			// enables it (a correctly predicted unicast always notifies).
@@ -880,7 +886,7 @@ func (n *node) handleForward(f *coherence.Msg) {
 		n.afterEv(lat, nevGrantAborted)
 		return
 	}
-	if n.tx.Status == htm.StatusAborting && n.tx.InWriteSet(l) {
+	if n.tx.Status == htm.StatusAborting && n.tx.InWriteSetID(l, f.LID) {
 		// Mid-rollback: the speculative data is not yet restored. NACK;
 		// flag a misprediction on unicasts so the stale priority is purged
 		// (the dying transaction will not nack this line again). The
@@ -934,7 +940,7 @@ func (n *node) nack(f *coherence.Msg, tEst sim.Time, mp bool, conflicting bool) 
 // isOwnerResponse reports whether this node is responding as the line's
 // exclusive owner (so its response is the only one the requester gets).
 func (n *node) isOwnerResponse(l mem.Line) bool {
-	if _, ok := n.wbWait[l]; ok {
+	if n.wbWait.has(l) {
 		return true
 	}
 	e := n.l1.Lookup(l)
@@ -954,16 +960,16 @@ func (n *node) grant(f *coherence.Msg, aborted bool) {
 		// repeatedly NACKed unicast writer starve our pending read.)
 		n.req.staleData = true
 	}
-	if data, ok := n.wbWait[l]; ok {
+	if data, ok := n.wbWait.get(l); ok {
 		// Our PUTX raced with this forward; serve it from the retained
 		// copy and drop the line (the directory will answer WBStale).
-		delete(n.wbWait, l)
+		n.wbWait.del(l)
 		n.sendOwnerData(f, data, aborted)
 		if !f.IsWrite {
 			// A read downgrade blocks the directory until the writeback
 			// copy arrives; send it even though our cached line is gone.
 			n.m.sendMsg(coherence.Msg{
-				Type: coherence.MsgWBData, Line: l, Src: n.id, Dst: n.m.home.Home(l),
+				Type: coherence.MsgWBData, Line: l, LID: f.LID, Src: n.id, Dst: n.m.home.Home(l),
 				Data: data, HasData: true,
 			})
 		}
@@ -1007,7 +1013,7 @@ func (n *node) grant(f *coherence.Msg, aborted bool) {
 	e.State = cache.Shared
 	n.sendOwnerData(f, e.Data, aborted)
 	n.m.sendMsg(coherence.Msg{
-		Type: coherence.MsgWBData, Line: l, Src: n.id, Dst: n.m.home.Home(l),
+		Type: coherence.MsgWBData, Line: l, LID: f.LID, Src: n.id, Dst: n.m.home.Home(l),
 		Data: e.Data, HasData: true,
 	})
 }
@@ -1077,7 +1083,7 @@ func (n *node) handleWakeup(m *coherence.Msg) {
 func (n *node) handleWB(m *coherence.Msg) {
 	switch m.Type {
 	case coherence.MsgWBAck:
-		delete(n.wbWait, m.Line)
+		n.wbWait.del(m.Line)
 	case coherence.MsgWBStale:
 		// A forward is (or was) in flight and will consume the retained
 		// copy; nothing to do — grant() removes the entry when it arrives.

@@ -101,3 +101,13 @@ type Workload interface {
 	// Program returns node's thread. rng is private to the node.
 	Program(node int, rng *sim.RNG) Program
 }
+
+// FootprintHinter is an optional Workload extension: FootprintLines returns
+// an upper-bound estimate of the distinct cache lines an n-node run
+// touches, letting Machine.Reset pre-size the line interner (and with it
+// every dense LineID-indexed table) so the run's memory system never
+// rehashes or reallocates mid-simulation. The hint is an optimization only;
+// the tables grow on demand when it is absent or low.
+type FootprintHinter interface {
+	FootprintLines(nodes int) int
+}

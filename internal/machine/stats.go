@@ -1,9 +1,6 @@
 package machine
 
 import (
-	"maps"
-
-	"repro/internal/detmap"
 	"repro/internal/noc"
 	"repro/internal/sim"
 )
@@ -76,7 +73,12 @@ type Result struct {
 	TxGETXIssued   uint64
 	TxGETXAccesses uint64
 	GETXOutcomes   [numOutcomes]uint64
-	FalseAbortHist map[int]uint64 // #transactions falsely aborted per false-aborting request
+	// FalseAbortHist[k] counts false-aborting requests that falsely aborted
+	// exactly k transactions (k=0 is unused padding). A dense slice indexed
+	// by victim count: emission order is index order by construction, and
+	// the abort path increments without hashing. Always non-nil once reset
+	// has run, so fresh and arena-reused results compare equal.
+	FalseAbortHist []uint64
 
 	// Transaction execution efficiency (Fig. 14).
 	GoodCycles      uint64 // cycles inside attempts that committed
@@ -114,9 +116,9 @@ type Result struct {
 func (r *Result) reset(workload string, scheme Scheme, nodes int) {
 	hist := r.FalseAbortHist
 	if hist == nil {
-		hist = make(map[int]uint64)
+		hist = make([]uint64, 0, 8)
 	} else {
-		clear(hist)
+		hist = hist[:0]
 	}
 	*r = Result{
 		Workload:       workload,
@@ -143,7 +145,7 @@ func resizeCounts(s []uint64, n int) []uint64 {
 // results that must outlive the arena's next Reset are cloned first.
 func (r *Result) Clone() *Result {
 	c := *r
-	c.FalseAbortHist = maps.Clone(r.FalseAbortHist)
+	c.FalseAbortHist = append(make([]uint64, 0, len(r.FalseAbortHist)), r.FalseAbortHist...)
 	c.PerNodeCommits = append([]uint64(nil), r.PerNodeCommits...)
 	c.PerNodeAborts = append([]uint64(nil), r.PerNodeAborts...)
 	c.Timeline = append([]Sample(nil), r.Timeline...)
@@ -203,8 +205,18 @@ func (r *Result) DirBlockingPerTxGETX() float64 {
 // were ultimately NACKed (the integral of the Fig. 3 histogram).
 func (r *Result) UnnecessaryAborts() uint64 {
 	var n uint64
-	for _, k := range detmap.Keys(r.FalseAbortHist) {
-		n += uint64(k) * r.FalseAbortHist[k]
+	for k, c := range r.FalseAbortHist {
+		n += uint64(k) * c
 	}
 	return n
+}
+
+// bumpFalseAbort counts one false-aborting request with the given number of
+// victims, growing the histogram as needed (appended zeros, so retained
+// capacity never resurrects stale counts).
+func (r *Result) bumpFalseAbort(victims int) {
+	for len(r.FalseAbortHist) <= victims {
+		r.FalseAbortHist = append(r.FalseAbortHist, 0)
+	}
+	r.FalseAbortHist[victims]++
 }

@@ -64,60 +64,115 @@ func (h HomeMap) Home(l Line) int {
 // LineData is the word contents of one cache line.
 type LineData [WordsPerLine]uint64
 
-// Backing is the flat main-memory image: a map from line to contents.
+// Backing is the flat main-memory image: a dense LineID-indexed table of
+// line contents (no per-line pointers, no hashing on the load/store path).
 // Untouched lines read as zero. Backing is not safe for concurrent use; the
 // simulator is single-threaded by design.
 type Backing struct {
-	lines map[Line]*LineData
+	it      *Interner
+	data    []LineData // data[id-1]; slots beyond the high-water mark are zero
+	stored  []bool     // stored[id-1]: line was ever stored (Touched)
+	touched int
 }
 
-// NewBacking returns an empty (all-zero) memory image.
+// NewBacking returns an empty (all-zero) memory image over a private
+// interner (standalone use and tests).
 func NewBacking() *Backing {
-	return &Backing{lines: make(map[Line]*LineData)}
+	return NewBackingOn(NewInterner())
 }
 
-// Load returns a copy of line l.
-func (b *Backing) Load(l Line) LineData {
-	if d, ok := b.lines[l]; ok {
-		return *d
+// NewBackingOn returns an empty memory image sharing it with the rest of a
+// memory system, so the LineIDs the coherence layer carries index this
+// table directly.
+func NewBackingOn(it *Interner) *Backing {
+	return &Backing{it: it}
+}
+
+// Interner exposes the interner this image is indexed by.
+func (b *Backing) Interner() *Interner { return b.it }
+
+// ensure extends the dense tables to cover id. Slots re-exposed from
+// retained capacity were zeroed by Reset, and fresh growth allocates
+// zeroed memory, so extension never resurrects stale contents.
+func (b *Backing) ensure(id LineID) {
+	n := int(id)
+	if n <= len(b.data) {
+		return
+	}
+	if n <= cap(b.data) {
+		b.data = b.data[:n]
+		b.stored = b.stored[:n]
+		return
+	}
+	nd := make([]LineData, n, 2*n)
+	copy(nd, b.data)
+	b.data = nd
+	ns := make([]bool, n, 2*n)
+	copy(ns, b.stored)
+	b.stored = ns
+}
+
+// LoadID returns a copy of the line with the given LineID (0 or an ID past
+// the table reads as zero — the line was never stored).
+//
+//puno:hot
+func (b *Backing) LoadID(id LineID) LineData {
+	if i := int(id); i > 0 && i <= len(b.data) {
+		return b.data[i-1]
 	}
 	return LineData{}
 }
 
+// StoreID replaces the line with the given LineID. id must be a live ID of
+// the backing's interner.
+func (b *Backing) StoreID(id LineID, d LineData) {
+	b.ensure(id)
+	b.data[id-1] = d
+	if !b.stored[id-1] {
+		b.stored[id-1] = true
+		b.touched++
+	}
+}
+
+// Load returns a copy of line l.
+func (b *Backing) Load(l Line) LineData {
+	return b.LoadID(b.it.Lookup(l))
+}
+
 // Store replaces line l.
 func (b *Backing) Store(l Line, d LineData) {
-	p, ok := b.lines[l]
-	if !ok {
-		p = new(LineData)
-		b.lines[l] = p
-	}
-	*p = d
+	b.StoreID(b.it.Intern(l), d)
 }
 
 // LoadWord reads one word.
 func (b *Backing) LoadWord(a Addr) uint64 {
-	if d, ok := b.lines[LineOf(a)]; ok {
-		return d[WordIndex(a)]
+	if i := int(b.it.Lookup(LineOf(a))); i > 0 && i <= len(b.data) {
+		return b.data[i-1][WordIndex(a)]
 	}
 	return 0
 }
 
 // StoreWord writes one word.
 func (b *Backing) StoreWord(a Addr, v uint64) {
-	l := LineOf(a)
-	p, ok := b.lines[l]
-	if !ok {
-		p = new(LineData)
-		b.lines[l] = p
+	id := b.it.Intern(LineOf(a))
+	b.ensure(id)
+	if !b.stored[id-1] {
+		b.stored[id-1] = true
+		b.touched++
 	}
-	p[WordIndex(a)] = v
+	b.data[id-1][WordIndex(a)] = v
 }
 
 // Touched returns the number of distinct lines ever stored.
-func (b *Backing) Touched() int { return len(b.lines) }
+func (b *Backing) Touched() int { return b.touched }
 
 // Reset empties the image (every line reads as zero again), retaining the
-// map's capacity so a reused Backing repopulates without rehashing.
+// table's capacity so a reused Backing repopulates without reallocating.
+// The interner is NOT reset: its owner decides when IDs are reassigned.
 func (b *Backing) Reset() {
-	clear(b.lines)
+	clear(b.data[:cap(b.data)])
+	b.data = b.data[:0]
+	clear(b.stored[:cap(b.stored)])
+	b.stored = b.stored[:0]
+	b.touched = 0
 }

@@ -1,0 +1,81 @@
+package mem
+
+// LineID is a compact dense identifier for one distinct cache line touched
+// by a run. IDs are assigned lazily on first touch, in touch order, starting
+// at 1; the zero LineID means "not interned / unknown" so a zero-valued
+// message or cache entry is always safe to fall back on. Because the
+// simulation is single-threaded and deterministic, the touch order — and
+// therefore the Line→LineID assignment — is identical across runs of the
+// same trajectory, which is what lets LineID-indexed tables replace
+// map[Line] lookups without perturbing goldens.
+type LineID int32
+
+// Interner assigns LineIDs and answers both directions of the mapping. The
+// forward index is the one blessed map in this package: it is consulted only
+// when a line enters the system (first touch of a miss path) while every
+// per-event hot lookup goes through a LineID-indexed slice instead.
+type Interner struct {
+	idx   map[Line]LineID
+	lines []Line // lines[id-1] = line; insertion (touch) order
+	sized int    // capacity hint already applied via Grow
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{idx: make(map[Line]LineID)}
+}
+
+// Intern returns l's LineID, assigning the next dense ID on first touch.
+func (it *Interner) Intern(l Line) LineID {
+	if id := it.idx[l]; id != 0 {
+		return id
+	}
+	id := LineID(len(it.lines) + 1)
+	it.idx[l] = id
+	it.lines = append(it.lines, l)
+	return id
+}
+
+// Lookup returns l's LineID, or 0 when l has never been interned.
+//
+//puno:hot
+func (it *Interner) Lookup(l Line) LineID { return it.idx[l] }
+
+// LineAt is the O(1) reverse lookup. id must be a live ID (1..Len).
+//
+//puno:hot
+func (it *Interner) LineAt(id LineID) Line { return it.lines[id-1] }
+
+// Len returns the number of interned lines (the largest live ID).
+func (it *Interner) Len() int { return len(it.lines) }
+
+// Reset forgets every assignment, retaining capacity so a reused interner
+// (and the dense tables sized off it) repopulates without reallocating.
+func (it *Interner) Reset() {
+	clear(it.idx)
+	it.lines = it.lines[:0]
+}
+
+// Grow pre-sizes the interner for n distinct lines (the workload footprint
+// hint applied at Machine construction/Reset). Growing rebuilds the forward
+// index at the larger capacity; rebuilding inserts into a fresh map, which
+// is order-independent, and never reassigns IDs.
+func (it *Interner) Grow(n int) {
+	if n <= it.sized {
+		return
+	}
+	it.sized = n
+	if cap(it.lines) < n {
+		nl := make([]Line, len(it.lines), n)
+		copy(nl, it.lines)
+		it.lines = nl
+	}
+	// This range is punovet's one allowlisted map iteration in internal/mem
+	// (maprangeAllowed): inserting existing pairs into a fresh map is
+	// order-independent and IDs are not reassigned.
+	m := make(map[Line]LineID, n)
+	for l, id := range it.idx {
+		m[l] = id
+	}
+	it.idx = m
+}

@@ -1,0 +1,180 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// randLine draws from a small pool of word-aligned lines so streams revisit
+// lines often (exercising the dense-table fast paths, not just first touch).
+func randLine(rng *sim.RNG, pool int) Line {
+	return Line(uint64(rng.Intn(pool)) * LineBytes)
+}
+
+// TestBackingMatchesMapModel drives a dense Backing and a plain
+// map[Line]LineData reference model with the same seeded random operation
+// stream — stores, loads, word accesses, and full Resets — and requires
+// them to agree after every step. This is the contract the machine relies
+// on when it swaps the old map-backed L2 for the LineID-indexed slab.
+func TestBackingMatchesMapModel(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := sim.NewRNG(seed * 977)
+		b := NewBacking()
+		model := make(map[Line]LineData)
+		for step := 0; step < 4000; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2: // whole-line store
+				l := randLine(rng, 64)
+				var d LineData
+				for w := range d {
+					d[w] = rng.Uint64()
+				}
+				b.Store(l, d)
+				model[l] = d
+			case 3, 4: // word store
+				l := randLine(rng, 64)
+				w := rng.Intn(WordsPerLine)
+				v := rng.Uint64()
+				b.StoreWord(l.Word(w), v)
+				d := model[l]
+				d[w] = v
+				model[l] = d
+			case 5, 6, 7: // whole-line load
+				l := randLine(rng, 64)
+				if got, want := b.Load(l), model[l]; got != want {
+					t.Fatalf("seed %d step %d: Load(%v) = %v, want %v", seed, step, l, got, want)
+				}
+			case 8: // word load
+				l := randLine(rng, 64)
+				w := rng.Intn(WordsPerLine)
+				if got, want := b.LoadWord(l.Word(w)), model[l][w]; got != want {
+					t.Fatalf("seed %d step %d: LoadWord(%v.%d) = %d, want %d", seed, step, l, w, got, want)
+				}
+			case 9:
+				if rng.Intn(100) == 0 { // rare: reset and keep going (capacity reuse)
+					b.Reset()
+					clear(model)
+				}
+			}
+		}
+		// ID-indexed reads agree with the line-addressed model too.
+		it := b.Interner()
+		for l, want := range model {
+			if got := b.LoadID(it.Lookup(l)); got != want {
+				t.Fatalf("seed %d: LoadID(%v) = %v, want %v", seed, l, got, want)
+			}
+		}
+	}
+}
+
+// TestBackingResetExposesZeroes verifies the zeroing discipline: after
+// Reset, every previously stored line — including ones whose IDs force the
+// dense array to re-extend within retained capacity — reads back zero.
+func TestBackingResetExposesZeroes(t *testing.T) {
+	b := NewBacking()
+	lines := make([]Line, 200)
+	for i := range lines {
+		lines[i] = Line(uint64(i) * LineBytes)
+		b.StoreWord(lines[i].Word(0), uint64(i)+1)
+	}
+	b.Reset()
+	for _, l := range lines {
+		if got := b.Load(l); got != (LineData{}) {
+			t.Fatalf("after Reset, Load(%v) = %v, want zero", l, got)
+		}
+	}
+	if b.Touched() != 0 {
+		t.Fatalf("after Reset, Touched = %d, want 0", b.Touched())
+	}
+}
+
+// TestInternerDeterministicAssignment replays the same touch stream on a
+// fresh interner and on a Reset-reused one (including one that Grow has
+// rebuilt mid-stream) and requires identical ID assignments — the property
+// that keeps LineID-indexed tables trajectory-equivalent to map[Line] ones.
+func TestInternerDeterministicAssignment(t *testing.T) {
+	stream := func(rng *sim.RNG, n int) []Line {
+		ls := make([]Line, n)
+		for i := range ls {
+			ls[i] = randLine(rng, 300)
+		}
+		return ls
+	}
+	touches := stream(sim.NewRNG(42), 5000)
+
+	assign := func(it *Interner) []LineID {
+		ids := make([]LineID, len(touches))
+		for i, l := range touches {
+			if i == len(touches)/2 {
+				it.Grow(1024) // mid-stream growth must not disturb live IDs
+			}
+			ids[i] = it.Intern(l)
+		}
+		return ids
+	}
+
+	fresh := assign(NewInterner())
+	reused := NewInterner()
+	// Dirty the interner with an unrelated stream, then Reset.
+	for _, l := range stream(sim.NewRNG(7), 1000) {
+		reused.Intern(l)
+	}
+	reused.Reset()
+	again := assign(reused)
+
+	for i := range fresh {
+		if fresh[i] != again[i] {
+			t.Fatalf("touch %d: fresh interner assigned %d, reused one %d", i, fresh[i], again[i])
+		}
+	}
+}
+
+// TestInternerInvariants checks the structural invariants under a random
+// Intern/Lookup/Grow/Reset interleave: IDs are dense from 1 in touch
+// order, LineAt inverts Intern, and Lookup agrees with the assignment map.
+func TestInternerInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := sim.NewRNG(seed * 31)
+		it := NewInterner()
+		model := make(map[Line]LineID)
+		next := LineID(1)
+		for step := 0; step < 3000; step++ {
+			switch rng.Intn(8) {
+			case 0, 1, 2, 3:
+				l := randLine(rng, 200)
+				id := it.Intern(l)
+				if want, ok := model[l]; ok {
+					if id != want {
+						t.Fatalf("seed %d step %d: Intern(%v) = %d, want stable %d", seed, step, l, id, want)
+					}
+				} else {
+					if id != next {
+						t.Fatalf("seed %d step %d: first touch of %v got %d, want dense next %d", seed, step, l, id, next)
+					}
+					model[l] = id
+					next++
+				}
+				if back := it.LineAt(id); back != l {
+					t.Fatalf("seed %d step %d: LineAt(%d) = %v, want %v", seed, step, id, back, l)
+				}
+			case 4, 5:
+				l := randLine(rng, 200)
+				if got := it.Lookup(l); got != model[l] {
+					t.Fatalf("seed %d step %d: Lookup(%v) = %d, want %d", seed, step, l, got, model[l])
+				}
+			case 6:
+				it.Grow(rng.Intn(600))
+			case 7:
+				if rng.Intn(50) == 0 {
+					it.Reset()
+					clear(model)
+					next = 1
+				}
+			}
+			if it.Len() != len(model) {
+				t.Fatalf("seed %d step %d: Len = %d, want %d", seed, step, it.Len(), len(model))
+			}
+		}
+	}
+}

@@ -6,7 +6,6 @@ package report
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 )
 
@@ -141,24 +140,26 @@ func GeoMean(vals []float64) float64 {
 	return math.Exp(s / float64(len(vals)))
 }
 
-// Histogram renders an integer-keyed count map as a sorted "k: count (bar)"
-// block, the Fig. 3 presentation.
-func Histogram(title string, h map[int]uint64) string {
-	var keys []int
+// Histogram renders a dense count histogram (h[k] = count for key k) as a
+// "k: count (bar)" block in key order, skipping empty buckets — the Fig. 3
+// presentation. The rendering is byte-identical to the former map-keyed
+// version: slice index order is the sorted key order.
+func Histogram(title string, h []uint64) string {
 	var total uint64
-	for k, v := range h {
-		keys = append(keys, k)
+	for _, v := range h {
 		total += v
 	}
-	sort.Ints(keys)
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s ==\n", title)
 	if total == 0 {
 		b.WriteString("(empty)\n")
 		return b.String()
 	}
-	for _, k := range keys {
-		frac := float64(h[k]) / float64(total)
+	for k, v := range h {
+		if v == 0 {
+			continue
+		}
+		frac := float64(v) / float64(total)
 		bar := strings.Repeat("#", int(frac*50+0.5))
 		fmt.Fprintf(&b, "%3d: %6.1f%% %s\n", k, 100*frac, bar)
 	}

@@ -100,9 +100,12 @@ func TestGeoMeanBounded(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
-	out := Histogram("fig3", map[int]uint64{1: 50, 5: 50})
+	out := Histogram("fig3", []uint64{0, 50, 0, 0, 0, 50})
 	if !strings.Contains(out, "  1:   50.0%") || !strings.Contains(out, "  5:   50.0%") {
 		t.Fatalf("histogram format wrong:\n%s", out)
+	}
+	if strings.Contains(out, "  0:") || strings.Contains(out, "  2:") {
+		t.Fatalf("empty buckets should be skipped:\n%s", out)
 	}
 	empty := Histogram("none", nil)
 	if !strings.Contains(empty, "(empty)") {

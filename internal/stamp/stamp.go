@@ -89,6 +89,30 @@ func NewProfile(name string, high bool, txPerCPU int, paperAbortRate float64, cl
 	}
 }
 
+// FootprintLines implements machine.FootprintHinter: an upper bound on the
+// distinct cache lines an n-node run touches, used to pre-size the
+// machine's line interner and its dense tables. Shared regions contribute
+// their full extent (regions of different classes may overlap — the bound
+// need not be tight); private traffic contributes, per node, at most
+// PrivateLines per transaction instance, and genInstance cycles the stripe
+// modulo 2048 lines, so the per-node private footprint is the smaller of
+// the two.
+func (p *Profile) FootprintLines(nodes int) int {
+	n := 0
+	maxPriv := 0
+	for _, cl := range p.classes {
+		n += cl.RegionLines
+		if cl.PrivateLines > maxPriv {
+			maxPriv = cl.PrivateLines
+		}
+	}
+	priv := maxPriv * p.txPerCPU
+	if priv > 2048 {
+		priv = 2048
+	}
+	return n + priv*nodes
+}
+
 // Name implements machine.Workload.
 func (p *Profile) Name() string { return p.name }
 
@@ -127,6 +151,7 @@ func (p *Profile) Program(node int, rng *sim.RNG) machine.Program {
 	}
 	priv := privateBase(node)
 	privSeq := 0
+	var scratch genScratch
 	return machine.ProgramFunc(func(r *sim.RNG) (machine.TxInstance, bool) {
 		if count >= p.txPerCPU {
 			return machine.TxInstance{}, false
@@ -142,7 +167,7 @@ func (p *Profile) Program(node int, rng *sim.RNG) machine.Program {
 			}
 			pick -= c.Weight
 		}
-		return genInstance(cl, r, priv, &privSeq), true
+		return genInstance(cl, r, priv, &privSeq, &scratch), true
 	})
 }
 
@@ -157,16 +182,36 @@ const (
 	maxPerSet = 3
 )
 
+// genScratch holds the flat scratch buffers one program's genInstance calls
+// reuse across transaction instances: the per-set footprint counters, the
+// seen bitmap for distinct random read selection, and the read-index list.
+// Instance generation runs on the sweep hot path, once per transaction, so
+// these replace what used to be two map allocations per instance.
+type genScratch struct {
+	setCount [l1Sets]uint8
+	seen     []uint64 // bitmap over region line indices
+	readIdx  []int
+}
+
 // genInstance builds one dynamic transaction from a class recipe.
-func genInstance(cl Class, r *sim.RNG, priv mem.Line, privSeq *int) machine.TxInstance {
-	var ops []machine.Op
+func genInstance(cl Class, r *sim.RNG, priv mem.Line, privSeq *int, sc *genScratch) machine.TxInstance {
+	// Upper bound on the op count, so the ops slice is allocated once.
+	maxReads := cl.ReadsMax
+	if cl.ReadWholeRegion {
+		maxReads = cl.RegionLines
+	}
+	bound := 2*cl.PrivateLines + maxReads + cl.WritesMax + 1
+	if cl.ComputePerRead > 0 {
+		bound += maxReads
+	}
+	ops := make([]machine.Op, 0, bound)
 	lineAt := func(i int) mem.Line {
 		return mem.Line(uint64(cl.RegionBase) + uint64(i)*mem.LineBytes)
 	}
 	setOf := func(l mem.Line) int { return int((uint64(l) / mem.LineBytes) % l1Sets) }
-	setCount := make(map[int]int)
-	fits := func(l mem.Line) bool { return setCount[setOf(l)] < maxPerSet }
-	take := func(l mem.Line) { setCount[setOf(l)]++ }
+	clear(sc.setCount[:])
+	fits := func(l mem.Line) bool { return sc.setCount[setOf(l)] < maxPerSet }
+	take := func(l mem.Line) { sc.setCount[setOf(l)]++ }
 
 	// Private stripe accesses come first so that shared-read op positions
 	// are stable across instances: the RMW predictor keys on (static tx,
@@ -183,7 +228,7 @@ func genInstance(cl Class, r *sim.RNG, priv mem.Line, privSeq *int) machine.TxIn
 	}
 
 	// Read phase.
-	var readIdx []int
+	readIdx := sc.readIdx[:0]
 	if cl.ReadWholeRegion {
 		for i := 0; i < cl.RegionLines; i++ {
 			if fits(lineAt(i)) {
@@ -196,11 +241,16 @@ func genInstance(cl Class, r *sim.RNG, priv mem.Line, privSeq *int) machine.TxIn
 		if cl.ReadsMax > cl.ReadsMin {
 			n += r.Intn(cl.ReadsMax - cl.ReadsMin + 1)
 		}
-		seen := make(map[int]bool, n)
+		words := (cl.RegionLines + 63) / 64
+		if cap(sc.seen) < words {
+			sc.seen = make([]uint64, words)
+		}
+		seen := sc.seen[:words]
+		clear(seen)
 		for attempts := 0; len(readIdx) < n && attempts < 8*cl.RegionLines; attempts++ {
 			i := r.Intn(cl.RegionLines)
-			if !seen[i] && fits(lineAt(i)) {
-				seen[i] = true
+			if seen[i>>6]&(1<<(uint(i)&63)) == 0 && fits(lineAt(i)) {
+				seen[i>>6] |= 1 << (uint(i) & 63)
 				take(lineAt(i))
 				readIdx = append(readIdx, i)
 			}
@@ -257,5 +307,6 @@ func genInstance(cl Class, r *sim.RNG, priv mem.Line, privSeq *int) machine.TxIn
 		}
 	}
 
+	sc.readIdx = readIdx // hand the (possibly grown) buffer back for reuse
 	return machine.TxInstance{StaticID: cl.StaticID, Ops: ops, ThinkCycles: cl.Think}
 }
