@@ -2,7 +2,7 @@ GO ?= go
 BENCH ?= BenchmarkSweepParallelism
 BENCH_COUNT ?= 8
 
-.PHONY: all test lint race bench bench-baseline bench-compare bench-snapshot golden clean
+.PHONY: all test lint race cover cover-update bench bench-baseline bench-compare bench-snapshot golden clean
 
 all: test
 
@@ -22,6 +22,21 @@ lint:
 # Race-detector pass over everything; certifies the parallel sweep runner.
 race:
 	$(GO) test -race ./...
+
+# Per-package coverage audit: measure `go test -cover` for every internal
+# package and gate it against the committed floors in COVERAGE.json. Any
+# package dropping below its floor — or appearing without one — fails.
+cover:
+	$(GO) test -cover ./internal/... > cover.txt || { cat cover.txt; rm -f cover.txt; exit 1; }
+	$(GO) run ./cmd/punocover -i cover.txt -thresholds COVERAGE.json
+	@rm -f cover.txt
+
+# Re-baseline the coverage floors to the current measured values (run after
+# intentionally adding code whose tests land in the same change).
+cover-update:
+	$(GO) test -cover ./internal/... > cover.txt || { cat cover.txt; rm -f cover.txt; exit 1; }
+	$(GO) run ./cmd/punocover -i cover.txt -thresholds COVERAGE.json -update
+	@rm -f cover.txt
 
 # Per-figure and substrate benchmarks (the parallel-vs-serial sweep speedup
 # is BenchmarkSweepParallelism).
@@ -52,7 +67,7 @@ bench-compare:
 # benchmark: the previous "current" entry is rotated into the baseline slot
 # and the new numbers become current. Describe the change with NOTE=...
 bench-snapshot:
-	$(GO) test -run '^$$' -bench '$(BENCH)/serial' -benchmem -count $(BENCH_COUNT) . | tee bench_snapshot.txt
+	$(GO) test -run '^$$' -bench '$(BENCH)/serial$$' -benchmem -count $(BENCH_COUNT) . | tee bench_snapshot.txt
 	$(GO) run ./cmd/benchsnap -in bench_snapshot.txt -out BENCH_sweep.json -note '$(NOTE)'
 
 # Regenerate the determinism golden files after an intentional change.
@@ -61,4 +76,4 @@ golden:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench_base.txt bench_new.txt bench_snapshot.txt
+	rm -f bench_base.txt bench_new.txt bench_snapshot.txt cover.txt

@@ -307,6 +307,42 @@ func BenchmarkSweepParallelism(b *testing.B) {
 			b.ReportMetric(float64(len(workloads)*len(schemes)), "runs/op")
 		})
 	}
+
+	// serial-traced is the serial sweep with an event sink installed on
+	// every spec: the cost of leaving event tracing on. The serial variant
+	// above runs with the sink nil, so comparing the two isolates the
+	// tracing overhead, and comparing serial against the pre-hook baseline
+	// in BENCH_sweep.json shows the tracing-off cost of the hooks
+	// themselves (one nil check per emit site — expected within noise).
+	b.Run("serial-traced", func(b *testing.B) {
+		var specs []RunSpec
+		var sinks []*EventBuffer
+		for _, wl := range workloads {
+			for _, sch := range schemes {
+				cfg := benchConfig()
+				cfg.Scheme = sch
+				buf := &EventBuffer{}
+				cfg.EventSink = buf
+				specs = append(specs, RunSpec{Config: cfg, Workload: wl})
+				sinks = append(sinks, buf)
+			}
+		}
+		events := 0
+		for i := 0; i < b.N; i++ {
+			for _, s := range sinks {
+				s.Reset()
+			}
+			if _, err := RunSpecs(context.Background(), specs, SweepOptions{Parallel: 1}); err != nil {
+				b.Fatal(err)
+			}
+			events = 0
+			for _, s := range sinks {
+				events += s.Len()
+			}
+		}
+		b.ReportMetric(float64(len(specs)), "runs/op")
+		b.ReportMetric(float64(events), "events/op")
+	})
 }
 
 // ---- substrate microbenchmarks ------------------------------------------

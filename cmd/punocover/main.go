@@ -1,0 +1,177 @@
+// Command punocover enforces the repository's per-package coverage audit:
+// it parses `go test -cover` output, compares every package against the
+// committed thresholds file, prints an audit table, and fails when any
+// package regresses below its floor (or appears with no recorded floor).
+//
+//	go test -cover ./internal/... > cover.txt
+//	punocover -i cover.txt                 # gate against COVERAGE.json
+//	punocover -i cover.txt -update         # rewrite floors to measured
+//
+// The thresholds file maps import path -> minimum coverage percent. Floors
+// are set to the measured value at the time of the last -update; coverage
+// is deterministic here (no test parallelism across packages changes the
+// measured statements), so "no worse than last audit" is an exact gate,
+// not a fuzzy one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("punocover", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("i", "", "go test -cover output to read (default stdin)")
+	thrPath := fs.String("thresholds", "COVERAGE.json", "thresholds file (import path -> minimum percent)")
+	update := fs.Bool("update", false, "rewrite the thresholds file to the measured coverage")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	measured, err := parseCover(string(raw))
+	if err != nil {
+		return err
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("punocover: no coverage lines found in input")
+	}
+
+	if *update {
+		if err := writeThresholds(*thrPath, measured); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d thresholds to %s\n", len(measured), *thrPath)
+		return nil
+	}
+
+	thresholds, err := readThresholds(*thrPath)
+	if err != nil {
+		return err
+	}
+	return audit(stdout, measured, thresholds)
+}
+
+// parseCover extracts package -> coverage percent from `go test -cover`
+// output. Packages without test files count as 0%; lines that carry no
+// parseable figure (build noise, "[no statements]") are skipped.
+func parseCover(out string) (map[string]float64, error) {
+	cov := make(map[string]float64)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		pkg := ""
+		for _, f := range fields {
+			// The package path is the only field with a path separator
+			// ("repro/internal/sim"); timings and percentages never have one.
+			if strings.Contains(f, "/") && !strings.HasPrefix(f, "[") {
+				pkg = f
+				break
+			}
+		}
+		if pkg == "" {
+			continue
+		}
+		if strings.Contains(line, "[no test files]") {
+			cov[pkg] = 0
+			continue
+		}
+		for i, f := range fields {
+			if f == "coverage:" && i+1 < len(fields) {
+				pctStr := strings.TrimSuffix(fields[i+1], "%")
+				pct, err := strconv.ParseFloat(pctStr, 64)
+				if err != nil {
+					break // "coverage: [no statements]" and friends
+				}
+				cov[pkg] = pct
+			}
+		}
+	}
+	return cov, nil
+}
+
+func readThresholds(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("punocover: reading thresholds: %w (run with -update to create)", err)
+	}
+	var t map[string]float64
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("punocover: %s: %w", path, err)
+	}
+	return t, nil
+}
+
+func writeThresholds(path string, measured map[string]float64) error {
+	b, err := json.MarshalIndent(measured, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// audit prints the coverage table and returns an error when any package is
+// below its floor, missing from the input, or measured with no floor on
+// record — every way the audit can silently rot fails loudly.
+func audit(w io.Writer, measured, thresholds map[string]float64) error {
+	pkgs := make([]string, 0, len(measured)+len(thresholds))
+	for p := range measured {
+		pkgs = append(pkgs, p)
+	}
+	for p := range thresholds {
+		if _, ok := measured[p]; !ok {
+			pkgs = append(pkgs, p)
+		}
+	}
+	sort.Strings(pkgs)
+
+	fmt.Fprintf(w, "%-32s %9s %9s   status\n", "package", "coverage", "target")
+	failures := 0
+	for _, p := range pkgs {
+		got, haveGot := measured[p]
+		min, haveMin := thresholds[p]
+		switch {
+		case !haveGot:
+			failures++
+			fmt.Fprintf(w, "%-32s %9s %8.1f%%   FAIL (package missing from input)\n", p, "-", min)
+		case !haveMin:
+			failures++
+			fmt.Fprintf(w, "%-32s %8.1f%% %9s   FAIL (no threshold; run `make cover-update`)\n", p, got, "-")
+		case got+1e-9 < min:
+			failures++
+			fmt.Fprintf(w, "%-32s %8.1f%% %8.1f%%   FAIL\n", p, got, min)
+		default:
+			fmt.Fprintf(w, "%-32s %8.1f%% %8.1f%%   ok\n", p, got, min)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("coverage gate: FAIL (%d of %d packages)", failures, len(pkgs))
+	}
+	fmt.Fprintf(w, "coverage gate: PASS (%d packages)\n", len(pkgs))
+	return nil
+}

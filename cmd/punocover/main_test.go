@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleCover = `ok  	repro/internal/area	0.003s	coverage: 100.0% of statements
+ok  	repro/internal/cache	0.006s	coverage: 88.9% of statements
+	repro/internal/probe		coverage: 0.0% of statements
+?   	repro/internal/old	[no test files]
+ok  	repro/internal/empty	0.001s	coverage: [no statements]
+ok  	repro/internal/sim	0.067s	coverage: 97.8% of statements
+`
+
+func TestParseCover(t *testing.T) {
+	got, err := parseCover(sampleCover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"repro/internal/area":  100.0,
+		"repro/internal/cache": 88.9,
+		"repro/internal/probe": 0.0,
+		"repro/internal/old":   0.0,
+		"repro/internal/sim":   97.8,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d packages, want %d: %v", len(got), len(want), got)
+	}
+	for pkg, pct := range want {
+		if got[pkg] != pct {
+			t.Errorf("%s = %v, want %v", pkg, got[pkg], pct)
+		}
+	}
+	if _, ok := got["repro/internal/empty"]; ok {
+		t.Error("[no statements] package should be skipped, not recorded")
+	}
+}
+
+func TestAuditPassAndFail(t *testing.T) {
+	measured := map[string]float64{"a/x": 90.0, "a/y": 50.0}
+
+	var out strings.Builder
+	if err := audit(&out, measured, map[string]float64{"a/x": 90.0, "a/y": 50.0}); err != nil {
+		t.Fatalf("coverage at floor must pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS (2 packages)") {
+		t.Errorf("pass summary missing:\n%s", out.String())
+	}
+
+	out.Reset()
+	err := audit(&out, measured, map[string]float64{"a/x": 90.0, "a/y": 50.1})
+	if err == nil || !strings.Contains(err.Error(), "FAIL (1 of 2") {
+		t.Fatalf("regression must fail: %v", err)
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("fail row missing:\n%s", out.String())
+	}
+
+	// A measured package with no recorded floor fails (audit rot).
+	out.Reset()
+	if err := audit(&out, measured, map[string]float64{"a/x": 90.0}); err == nil {
+		t.Fatal("unlisted package must fail the audit")
+	}
+	if !strings.Contains(out.String(), "no threshold") {
+		t.Errorf("no-threshold diagnosis missing:\n%s", out.String())
+	}
+
+	// A listed package missing from the input fails (package deleted or
+	// filtered out of the test run).
+	out.Reset()
+	if err := audit(&out, measured, map[string]float64{"a/x": 90.0, "a/y": 50.0, "a/gone": 10.0}); err == nil {
+		t.Fatal("missing package must fail the audit")
+	}
+	if !strings.Contains(out.String(), "missing from input") {
+		t.Errorf("missing-package diagnosis missing:\n%s", out.String())
+	}
+}
+
+func TestRunGateAndUpdate(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "cover.txt")
+	thr := filepath.Join(dir, "COVERAGE.json")
+	if err := os.WriteFile(in, []byte(sampleCover), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gate without thresholds file: explicit error pointing at -update.
+	var out, errb strings.Builder
+	if err := run([]string{"-i", in, "-thresholds", thr}, &out, &errb); err == nil ||
+		!strings.Contains(err.Error(), "-update") {
+		t.Fatalf("missing thresholds file: %v", err)
+	}
+
+	// -update writes floors equal to measured; the gate then passes.
+	out.Reset()
+	if err := run([]string{"-i", in, "-thresholds", thr, "-update"}, &out, &errb); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	var floors map[string]float64
+	raw, err := os.ReadFile(thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &floors); err != nil {
+		t.Fatal(err)
+	}
+	if floors["repro/internal/sim"] != 97.8 {
+		t.Fatalf("floors = %v", floors)
+	}
+	out.Reset()
+	if err := run([]string{"-i", in, "-thresholds", thr}, &out, &errb); err != nil {
+		t.Fatalf("gate after update: %v\n%s", err, out.String())
+	}
+
+	// A regression in the input now fails the gate.
+	regressed := strings.Replace(sampleCover, "97.8%", "90.0%", 1)
+	if err := os.WriteFile(in, []byte(regressed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-i", in, "-thresholds", thr}, &out, &errb); err == nil {
+		t.Fatalf("regressed coverage passed the gate:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(in, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if err := run([]string{"-i", in}, &out, &errb); err == nil ||
+		!strings.Contains(err.Error(), "no coverage lines") {
+		t.Fatalf("empty input: %v", err)
+	}
+	if err := run([]string{"-i", filepath.Join(dir, "missing.txt")}, &out, &errb); err == nil {
+		t.Fatal("missing input file accepted")
+	}
+}

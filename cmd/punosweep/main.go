@@ -9,6 +9,12 @@
 //	punosweep -sweep guard    -workload bayes
 //	punosweep -sweep mesh     -workload intruder
 //	punosweep -sweep schemes  -workload yada -parallel 4
+//	punosweep -sweep schemes  -workload yada -trace traces/
+//
+// With -trace DIR, every sweep point additionally writes its binary event
+// trace (punotrace's .evt format) into DIR, one file per point, for
+// point-vs-point diffing with `punotrace diff`. Tracing forces serial
+// execution; the printed table is identical either way.
 package main
 
 import (
@@ -18,6 +24,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 
 	"repro"
@@ -103,6 +111,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "simulation seed")
 		txper    = fs.Int("txper", 0, "transactions per node (0 = profile default)")
 		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		traceDir = fs.String("trace", "", "write each point's binary event trace (.evt) into this directory (forces serial execution)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (samples carry per-run pprof labels: task index and workload/scheme/seed)")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -119,14 +128,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	defer profiler.Stop()
-	runErr := runSweep(ctx, *sweep, *workload, *seed, *txper, *parallel, stdout)
+	runErr := runSweep(ctx, *sweep, *workload, *seed, *txper, *parallel, *traceDir, stdout)
 	if perr := profiler.Stop(); runErr == nil {
 		runErr = perr
 	}
 	return runErr
 }
 
-func runSweep(ctx context.Context, sweep, workload string, seed uint64, txper, parallel int, stdout io.Writer) error {
+func runSweep(ctx context.Context, sweep, workload string, seed uint64, txper, parallel int, traceDir string, stdout io.Writer) error {
 	wl, err := puno.WorkloadByName(workload)
 	if err != nil {
 		return err
@@ -141,13 +150,37 @@ func runSweep(ctx context.Context, sweep, workload string, seed uint64, txper, p
 	if err != nil {
 		return err
 	}
-	specs := make([]puno.RunSpec, len(pts))
-	for i, p := range pts {
-		specs[i] = p.spec
-	}
-	results, err := puno.RunSpecs(ctx, specs, puno.SweepOptions{Parallel: parallel})
-	if err != nil {
-		return err
+	var results []*puno.Result
+	if traceDir != "" {
+		// Tracing runs the points serially through CaptureEvents: each
+		// point's trace needs its machine's line table, and determinism
+		// guarantees the serial results match the parallel path's.
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			return err
+		}
+		results = make([]*puno.Result, len(pts))
+		for i, p := range pts {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			res, et, err := puno.CaptureEvents(p.spec.Config, p.spec.Workload)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p.label, err)
+			}
+			results[i] = res
+			path := filepath.Join(traceDir, fmt.Sprintf("%02d-%s.evt", i, sanitizeLabel(p.label)))
+			if err := saveEvents(path, et); err != nil {
+				return err
+			}
+		}
+	} else {
+		specs := make([]puno.RunSpec, len(pts))
+		for i, p := range pts {
+			specs[i] = p.spec
+		}
+		if results, err = puno.RunSpecs(ctx, specs, puno.SweepOptions{Parallel: parallel}); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintln(stdout, title)
@@ -157,4 +190,30 @@ func runSweep(ctx context.Context, sweep, workload string, seed uint64, txper, p
 			100*res.FalseAbortFraction(), res.UnnecessaryAborts(), res.Net.TotalTraversals())
 	}
 	return nil
+}
+
+// sanitizeLabel turns a sweep-point label into a filename fragment.
+func sanitizeLabel(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, label)
+}
+
+func saveEvents(path string, et *puno.EventTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := et.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro"
 )
 
 func TestSchemesSweepSerial(t *testing.T) {
@@ -47,6 +50,84 @@ func TestUnknownSweepModeAndWorkload(t *testing.T) {
 	}
 	if err := run([]string{"-workload", "nosuch"}, &out, &errb); err == nil {
 		t.Fatal("unknown workload accepted")
+	}
+}
+
+// -trace writes one loadable event trace per sweep point, prints the same
+// table as the untraced sweep, and the traces diff cleanly: same-scheme
+// points are identical across sweeps, different-scheme points diverge.
+func TestTraceFlagWritesEventTraces(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-sweep", "schemes", "-workload", "kmeans", "-txper", "2"}
+	var traced, plain strings.Builder
+	if err := run(append(args, "-trace", dir), &traced, &strings.Builder{}); err != nil {
+		t.Fatalf("traced sweep: %v", err)
+	}
+	if err := run(append(args, "-parallel", "1"), &plain, &strings.Builder{}); err != nil {
+		t.Fatalf("plain sweep: %v", err)
+	}
+	if traced.String() != plain.String() {
+		t.Fatalf("tracing changed the sweep table:\n--- traced ---\n%s--- plain ---\n%s",
+			traced.String(), plain.String())
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 8 { // one per scheme
+		t.Fatalf("wrote %d trace files, want 8: %v", len(entries), entries)
+	}
+	load := func(name string) *puno.EventTrace {
+		t.Helper()
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		et, err := puno.LoadEventTrace(f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return et
+	}
+	baseline := load("00-baseline.evt")
+	punoTr := load("03-puno.evt")
+	if len(baseline.Events) == 0 || len(punoTr.Events) == 0 {
+		t.Fatal("empty event traces written")
+	}
+	if _, ok := puno.FirstDivergence(baseline, punoTr); !ok {
+		t.Error("baseline and PUNO sweeps produced identical event streams")
+	}
+
+	// A second traced sweep reproduces the first byte-for-byte.
+	dir2 := t.TempDir()
+	if err := run(append(args, "-trace", dir2), &strings.Builder{}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(dir, "00-baseline.evt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir2, "00-baseline.evt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("re-running the traced sweep changed the trace bytes")
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	cases := map[string]string{
+		"Baseline":           "baseline",
+		"timeout  2x avg-tx": "timeout--2x-avg-tx",
+		"4x4 PUNO":           "4x4-puno",
+	}
+	for in, want := range cases {
+		if got := sanitizeLabel(in); got != want {
+			t.Errorf("sanitizeLabel(%q) = %q, want %q", in, got, want)
+		}
 	}
 }
 

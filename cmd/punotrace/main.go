@@ -1,9 +1,14 @@
 // Command punotrace records STAMP-profile workloads to portable trace
-// files, inspects them, and replays them on the simulator.
+// files, inspects them, and replays them on the simulator; it also
+// captures event-level traces of whole runs and diffs them down to the
+// first divergent event.
 //
 //	punotrace record -workload labyrinth -o labyrinth.trace
 //	punotrace info   -i labyrinth.trace
 //	punotrace run    -i labyrinth.trace -scheme puno
+//	punotrace events -workload intruder -scheme puno -o puno.evt
+//	punotrace diff   -a puno.evt -b baseline.evt
+//	punotrace diff   -workload intruder -scheme-a baseline -scheme-b puno
 package main
 
 import (
@@ -38,13 +43,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return info(args[1:], stdout, stderr)
 	case "run":
 		return replay(args[1:], stdout, stderr)
+	case "events":
+		return events(args[1:], stdout, stderr)
+	case "diff":
+		return diff(args[1:], stdout, stderr)
 	default:
 		return usageError()
 	}
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: punotrace record|info|run [flags]")
+	return fmt.Errorf("usage: punotrace record|info|run|events|diff [flags]")
+}
+
+// schemeByName resolves a case-insensitive scheme name.
+func schemeByName(name string) (puno.Scheme, error) {
+	for _, s := range []puno.Scheme{
+		puno.SchemeBaseline, puno.SchemeBackoff, puno.SchemeRMWPred,
+		puno.SchemePUNO, puno.SchemeUnicastOnly, puno.SchemeNotifyOnly, puno.SchemeATS, puno.SchemePUNOPush,
+	} {
+		if strings.EqualFold(s.String(), name) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", name)
 }
 
 func record(args []string, stdout, stderr io.Writer) error {
@@ -135,6 +157,10 @@ func replay(args []string, stdout, stderr io.Writer) error {
 	if *in == "" {
 		return fmt.Errorf("run: -i required")
 	}
+	s, err := schemeByName(*scheme)
+	if err != nil {
+		return err
+	}
 	tr, err := loadFile(*in)
 	if err != nil {
 		return err
@@ -142,19 +168,7 @@ func replay(args []string, stdout, stderr io.Writer) error {
 
 	cfg := puno.DefaultConfig()
 	cfg.Seed = *seed
-	found := false
-	for _, s := range []puno.Scheme{
-		puno.SchemeBaseline, puno.SchemeBackoff, puno.SchemeRMWPred,
-		puno.SchemePUNO, puno.SchemeUnicastOnly, puno.SchemeNotifyOnly, puno.SchemeATS, puno.SchemePUNOPush,
-	} {
-		if strings.EqualFold(s.String(), *scheme) {
-			cfg.Scheme = s
-			found = true
-		}
-	}
-	if !found {
-		return fmt.Errorf("unknown scheme %q", *scheme)
-	}
+	cfg.Scheme = s
 
 	res, err := puno.Run(cfg, tr)
 	if err != nil {
@@ -163,5 +177,123 @@ func replay(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "%s/%v: cycles=%d commits=%d aborts=%d abort%%=%.1f false%%=%.1f traffic=%d\n",
 		res.Workload, res.Scheme, res.Cycles, res.Commits, res.Aborts,
 		100*res.AbortRate(), 100*res.FalseAbortFraction(), res.Net.TotalTraversals())
+	return nil
+}
+
+// capture runs one workload/scheme/seed combination with event recording.
+func capture(workload string, scheme puno.Scheme, seed uint64, txper int) (*puno.Result, *puno.EventTrace, error) {
+	wl, err := puno.WorkloadByName(workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if txper > 0 {
+		wl = wl.WithTxPerCPU(txper)
+	}
+	cfg := puno.DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.Seed = seed
+	return puno.CaptureEvents(cfg, wl)
+}
+
+func events(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("events", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "intruder", "STAMP profile to run")
+	scheme := fs.String("scheme", "baseline", "contention-management scheme")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	txper := fs.Int("txper", 0, "transactions per node (0 = profile default)")
+	out := fs.String("o", "", "output file (default <workload>-<scheme>.evt)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := schemeByName(*scheme)
+	if err != nil {
+		return err
+	}
+	res, et, err := capture(*workload, s, *seed, *txper)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s-%s.evt", *workload, strings.ToLower(s.String()))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := et.Save(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "captured %s/%v: %d events, %d lines, %d cycles -> %s\n",
+		res.Workload, res.Scheme, len(et.Events), len(et.Lines), res.Cycles, path)
+	return nil
+}
+
+func loadEvents(path string) (*puno.EventTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	et, err := puno.LoadEventTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return et, nil
+}
+
+// diff pinpoints the first divergent event between two runs: either two
+// saved traces (-a/-b) or two schemes captured in-process (-scheme-a /
+// -scheme-b on one workload+seed). Identical streams and divergences both
+// exit 0 — the diagnosis is the output, not the exit code.
+func diff(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	aPath := fs.String("a", "", "first event-trace file")
+	bPath := fs.String("b", "", "second event-trace file")
+	workload := fs.String("workload", "", "capture mode: STAMP profile to run")
+	schemeA := fs.String("scheme-a", "baseline", "capture mode: first scheme")
+	schemeB := fs.String("scheme-b", "puno", "capture mode: second scheme")
+	seed := fs.Uint64("seed", 1, "capture mode: simulation seed")
+	txper := fs.Int("txper", 0, "capture mode: transactions per node")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var a, b *puno.EventTrace
+	switch {
+	case *aPath != "" && *bPath != "":
+		var err error
+		if a, err = loadEvents(*aPath); err != nil {
+			return err
+		}
+		if b, err = loadEvents(*bPath); err != nil {
+			return err
+		}
+	case *workload != "":
+		sa, err := schemeByName(*schemeA)
+		if err != nil {
+			return err
+		}
+		sb, err := schemeByName(*schemeB)
+		if err != nil {
+			return err
+		}
+		if _, a, err = capture(*workload, sa, *seed, *txper); err != nil {
+			return err
+		}
+		if _, b, err = capture(*workload, sb, *seed, *txper); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("diff: need either -a and -b, or -workload")
+	}
+	d, ok := puno.FirstDivergence(a, b)
+	if !ok {
+		fmt.Fprintf(stdout, "identical: %d events (A[%s] == B[%s])\n", len(a.Events), a.Scheme, b.Scheme)
+		return nil
+	}
+	fmt.Fprintln(stdout, puno.FormatDivergence(a, b, d))
 	return nil
 }

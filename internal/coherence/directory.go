@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/htm"
 	"repro/internal/mem"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -168,6 +169,11 @@ type Directory struct {
 	// callees (forward loops, the predictor) never retain the slice.
 	sharerScratch []int
 	stats         Stats
+
+	// probe, when non-nil, observes forwarding decisions (unicast vs
+	// multicast vs busy-nack). Set by the machine after construction/Reset;
+	// survives Reset so the owner controls its lifetime explicitly.
+	probe probe.Sink
 }
 
 // NewDirectory returns the controller for home node `node` in a machine of
@@ -208,6 +214,23 @@ func (d *Directory) Reset(pred Predictor) {
 	clear(d.idx[:cap(d.idx)])
 	d.idx = d.idx[:0]
 	d.stats = Stats{}
+}
+
+// SetProbe installs (or, with nil, removes) the event sink observing this
+// directory's forwarding decisions.
+func (d *Directory) SetProbe(s probe.Sink) { d.probe = s }
+
+// emit reports one forwarding decision when a probe is installed.
+//
+//puno:hot
+func (d *Directory) emit(kind probe.Kind, lid mem.LineID, n, requester int, reqID uint64) {
+	if d.probe == nil {
+		return
+	}
+	d.probe.Emit(probe.Event{
+		Cycle: d.env.Now(), Arg: probe.PackDir(n, requester, reqID),
+		Line: lid, Node: int16(d.node), Kind: kind,
+	})
 }
 
 // Stats returns a copy of the accumulated statistics.
@@ -419,6 +442,7 @@ func (d *Directory) send(delay sim.Time, m Msg) {
 
 func (d *Directory) nackBusy(m *Msg) {
 	d.stats.BusyNacks++
+	d.emit(probe.KindDirBusyNack, m.LID, 0, m.Src, m.ReqID)
 	d.send(d.DirLatency, Msg{
 		Type: MsgNackBusy, Line: m.Line, LID: m.LID, Src: d.node, Dst: m.Src,
 		Requester: m.Src, ReqID: m.ReqID,
@@ -510,6 +534,7 @@ func (d *Directory) handleGETX(m *Msg) {
 				// request. Extra DecisionLatency on the forward path.
 				d.stats.UnicastForwards++
 				e.unicastTo = dest
+				d.emit(probe.KindDirUnicast, m.LID, dest, m.Src, m.ReqID)
 				d.send(d.DirLatency+d.pred.DecisionLatency(), Msg{
 					Type: MsgFwdGETX, Line: m.Line, LID: m.LID, Src: d.node, Dst: dest,
 					Requester: m.Src, ReqID: m.ReqID, IsTx: m.IsTx,
@@ -524,6 +549,7 @@ func (d *Directory) handleGETX(m *Msg) {
 			extra = d.pred.DecisionLatency()
 		}
 		d.stats.MulticastFwds += uint64(len(targets))
+		d.emit(probe.KindDirMulticast, m.LID, len(targets), m.Src, m.ReqID)
 		for _, t := range targets {
 			d.send(d.DirLatency+extra, Msg{
 				Type: MsgFwdGETX, Line: m.Line, LID: m.LID, Src: d.node, Dst: t,

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -110,6 +111,12 @@ type Tx struct {
 	// indexed by. The machine shares its interner via SetInterner; a Tx
 	// used standalone (tests) lazily creates a private one.
 	it *mem.Interner
+
+	// probe, when non-nil, receives transaction lifecycle and
+	// conflict-detection events; probeNow supplies their timestamps
+	// (Commit/StartAbort/ConflictsWithID are not passed the clock).
+	probe    probe.Sink
+	probeNow func() sim.Time
 }
 
 // NewTx returns an idle transaction context for a node.
@@ -120,6 +127,25 @@ func NewTx(node int) *Tx {
 // SetInterner shares the machine-wide line interner, so the IDs carried by
 // coherence messages index this transaction's conflict sets directly.
 func (t *Tx) SetInterner(it *mem.Interner) { t.it = it }
+
+// SetProbe installs an event sink for transaction lifecycle
+// (begin/commit/abort) and conflict-detection events, with now supplying
+// timestamps. Pass (nil, nil) to disable. The probe observes only — it
+// must never influence the trajectory.
+func (t *Tx) SetProbe(s probe.Sink, now func() sim.Time) {
+	t.probe = s
+	t.probeNow = now
+}
+
+// emit sends a lifecycle event when a probe is installed.
+//
+//puno:hot
+func (t *Tx) emit(kind probe.Kind, cycle sim.Time, line mem.LineID, arg uint64) {
+	if t.probe == nil {
+		return
+	}
+	t.probe.Emit(probe.Event{Cycle: cycle, Arg: arg, Line: line, Node: int16(t.Node), Kind: kind})
+}
 
 // interner returns the shared interner, creating a private one on first
 // use when none was provided (standalone tests).
@@ -189,6 +215,7 @@ func (t *Tx) Begin(staticID int, now sim.Time, retry bool) {
 	if t.sig != nil {
 		t.sig.Clear()
 	}
+	t.emit(probe.KindTxBegin, now, 0, probe.PackTx(staticID, t.Attempts, false))
 }
 
 // Running reports whether a transaction attempt is currently executing.
@@ -300,10 +327,16 @@ func (t *Tx) ConflictsWithID(l mem.Line, id mem.LineID, isWrite bool) bool {
 	if id == 0 && !t.useSignature {
 		id = t.interner().Lookup(l)
 	}
+	var hit bool
 	if isWrite {
-		return t.InReadSetID(l, id) || t.InWriteSetID(l, id)
+		hit = t.InReadSetID(l, id) || t.InWriteSetID(l, id)
+	} else {
+		hit = t.InWriteSetID(l, id)
 	}
-	return t.InWriteSetID(l, id)
+	if hit && t.probe != nil {
+		t.emit(probe.KindConflict, t.probeNow(), id, probe.PackTx(t.StaticID, t.Attempts, isWrite))
+	}
+	return hit
 }
 
 // ReadSetSize returns the exact read-set line count.
@@ -333,6 +366,9 @@ func (t *Tx) ForEachSetLine(fn func(l mem.Line, write bool)) {
 func (t *Tx) Commit(c Costs) sim.Time {
 	t.mustRun("Commit")
 	t.Status = StatusCommitted
+	if t.probe != nil {
+		t.emit(probe.KindTxCommit, t.probeNow(), 0, probe.PackTx(t.StaticID, t.Attempts, false))
+	}
 	return c.CommitCycles
 }
 
@@ -346,6 +382,9 @@ func (t *Tx) StartAbort(c Costs, overflow bool) sim.Time {
 	lat := c.AbortFixed + sim.Time(len(t.undo))*c.AbortPerEntry
 	if overflow {
 		lat += c.OverflowCycles
+	}
+	if t.probe != nil {
+		t.emit(probe.KindTxAbort, t.probeNow(), 0, probe.PackTx(t.StaticID, t.Attempts, overflow))
 	}
 	return lat
 }

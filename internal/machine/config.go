@@ -4,6 +4,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/htm"
 	"repro/internal/noc"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -111,6 +112,14 @@ type Config struct {
 	// TraceFn, when non-nil, receives a line for every notable protocol
 	// and core event (debugging aid; adds no cost when nil).
 	TraceFn func(cycle sim.Time, node int, event string)
+
+	// EventSink, when non-nil, receives a probe.Event for every coherence
+	// message sent, transaction begin/commit/abort, detected conflict, and
+	// directory forwarding decision. The hooks cost one nil check each when
+	// unset and never change the simulated trajectory: a run with a sink
+	// and a run without one are cycle-identical. The sink is called from
+	// the simulation goroutine only.
+	EventSink probe.Sink
 
 	// SampleInterval, when nonzero, records a Result.Timeline sample every
 	// that many cycles (commit/abort/traffic deltas — the dynamics view).

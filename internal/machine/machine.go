@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/probe"
 	"repro/internal/sim"
 )
 
@@ -54,6 +55,11 @@ type Machine struct {
 	// Controller next-free times (occupancy queueing).
 	dirFree []sim.Time
 	l1Free  []sim.Time
+
+	// sink mirrors cfg.EventSink (possibly nil) for the send hook; Reset
+	// re-installs it on every controller so arena reuse cannot leak a
+	// previous run's sink.
+	sink probe.Sink
 
 	// msgFree recycles coherence messages: every message is built wholesale
 	// into a pooled struct at its send site and returned to the pool by the
@@ -221,6 +227,7 @@ func (m *Machine) Reset(cfg Config, wl Workload) error {
 	m.res.reset(wl.Name(), cfg.Scheme, cfg.Nodes)
 	m.active = 0
 	m.runErr = nil
+	m.sink = cfg.EventSink
 	// msgFree is kept as-is: pooled messages are overwritten wholesale at
 	// every fill site, so leftover contents are harmless.
 
@@ -259,11 +266,17 @@ func (m *Machine) Reset(cfg Config, wl Workload) error {
 		} else {
 			m.dirs[i].Reset(pred)
 		}
+		m.dirs[i].SetProbe(m.sink)
 		prog := wl.Program(i, m.rootRNG.Fork(1000+uint64(i)))
 		if m.nodes[i] == nil {
 			m.nodes[i] = newNode(i, m, prog, mb.build(i))
 		} else {
 			m.nodes[i].reset(prog, mb.build(i))
+		}
+		if m.sink != nil {
+			m.nodes[i].tx.SetProbe(m.sink, m.eng.Now)
+		} else {
+			m.nodes[i].tx.SetProbe(nil, nil)
 		}
 		if cfg.SignatureBits > 0 {
 			m.nodes[i].tx.UseSignatures(cfg.SignatureBits)
@@ -338,6 +351,15 @@ func (m *Machine) Backing() *mem.Backing { return m.backing }
 func (m *Machine) Engine() *sim.Engine { return m.eng }
 
 func (m *Machine) send(msg *coherence.Msg) {
+	if m.sink != nil {
+		m.sink.Emit(probe.Event{
+			Cycle: m.eng.Now(),
+			Arg:   probe.PackSend(uint8(msg.Type), msg.Dst, msg.Requester, msg.ReqID),
+			Line:  msg.LID,
+			Node:  int16(msg.Src),
+			Kind:  probe.KindSend,
+		})
+	}
 	m.mesh.Send(msg.Src, msg.Dst, msg.Class(), msg.Flits(), msg)
 }
 
@@ -515,6 +537,18 @@ func (m *Machine) Run() (*Result, error) {
 
 // Result returns the measurements collected so far (valid after Run).
 func (m *Machine) Result() *Result { return &m.res }
+
+// LineTable returns the machine's interned lines in assignment order: index
+// i holds the line whose LineID is i+1. An event trace saves this table so
+// its LineID-indexed events can be rendered as addresses later. Valid after
+// Run (interning is first-touch, so the table is only complete then).
+func (m *Machine) LineTable() []mem.Line {
+	out := make([]mem.Line, m.it.Len())
+	for i := range out {
+		out[i] = m.it.LineAt(mem.LineID(i + 1))
+	}
+	return out
+}
 
 // Predictors exposes the per-directory PUNO predictors (nil entries when
 // the scheme does not use prediction). Diagnostics and ablation benches.

@@ -1048,17 +1048,36 @@ func (n *node) fireWakeups() {
 	if n.wakeupSubs.empty() {
 		return
 	}
-	for i := 0; i < n.wakeupSubs.n; i++ {
-		l := n.wakeupSubs.lines[i]
-		for j := 0; j < n.wakeupSubs.nw[i]; j++ {
-			dst := n.wakeupSubs.waiters[i][j]
-			n.m.sendMsg(coherence.Msg{
-				Type: coherence.MsgWakeup, Line: l, Src: n.id, Dst: dst,
-				Requester: dst,
-			})
+	if TestHookReverseWakeups {
+		for i := n.wakeupSubs.n - 1; i >= 0; i-- {
+			n.fireWakeupLine(i)
+		}
+	} else {
+		for i := 0; i < n.wakeupSubs.n; i++ {
+			n.fireWakeupLine(i)
 		}
 	}
 	n.wakeupSubs.clear()
+}
+
+// TestHookReverseWakeups, when set, makes fireWakeups walk its line table
+// in descending instead of ascending order — the unordered-iteration bug
+// shape the wakeup table's sorted invariant exists to prevent. It changes
+// only the relative send order of same-cycle wakeups, so the run stays
+// legal but follows a divergent trajectory: exactly the signal the event
+// differ exists to catch. Tests only; must be false in any real run.
+var TestHookReverseWakeups bool
+
+// fireWakeupLine pings every waiter recorded for the i'th subscribed line.
+func (n *node) fireWakeupLine(i int) {
+	l := n.wakeupSubs.lines[i]
+	for j := 0; j < n.wakeupSubs.nw[i]; j++ {
+		dst := n.wakeupSubs.waiters[i][j]
+		n.m.sendMsg(coherence.Msg{
+			Type: coherence.MsgWakeup, Line: l, Src: n.id, Dst: dst,
+			Requester: dst,
+		})
+	}
 }
 
 // handleWakeup retries the current access immediately when a wakeup names

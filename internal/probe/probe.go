@@ -1,0 +1,175 @@
+// Package probe is the event-level observability layer of the simulator:
+// a compact event record, the Sink interface the simulation layers emit
+// into, and an in-memory Buffer sink. The hooks live in internal/machine
+// (every coherence message put on the mesh), internal/htm (transaction
+// begin/commit/abort and conflict detection), and internal/coherence (the
+// directory's forwarding decisions); all of them are behind a nil check,
+// so a machine built without a sink pays one predictable branch per
+// potential event and nothing else.
+//
+// probe sits below every simulation package (it imports only mem and sim),
+// which is what lets machine, coherence, and htm all emit into one stream
+// without an import cycle. The binary on-disk encoding, the
+// first-divergence differ, and replay-from-prefix live one level up in
+// internal/trace.
+//
+// Events are values (no pointers), Emit takes the event by value, and
+// Buffer appends into a retained slice, so tracing a steady-state run
+// allocates only when the buffer grows — the property that makes it cheap
+// enough to leave on during sweeps.
+package probe
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Kind discriminates event records. The zero Kind is invalid, so a
+// zero-valued Event can never be mistaken for a real one.
+type Kind uint8
+
+// Event kinds, ordered roughly by layer: protocol traffic, transaction
+// lifecycle, conflict detection, directory decisions.
+const (
+	// KindSend is one coherence message entering the mesh. Node is the
+	// sender; Arg packs (msg type, destination, requester, request id) —
+	// see PackSend/UnpackSend.
+	KindSend Kind = iota + 1
+	// KindTxBegin is a transaction attempt starting. Arg packs
+	// (static id, attempt number).
+	KindTxBegin
+	// KindTxCommit is a transaction attempt committing. Arg packs
+	// (static id, attempt number).
+	KindTxCommit
+	// KindTxAbort is a transaction attempt starting its rollback. Arg
+	// packs (static id, attempt number) plus the overflow bit.
+	KindTxAbort
+	// KindConflict is the HTM conflict detector matching an incoming
+	// request against a live transaction's sets. Node is the defender;
+	// Line is the contended line; Arg packs (static id, isWrite).
+	KindConflict
+	// KindDirUnicast is the PUNO directory servicing a transactional GETX
+	// by predictive unicast. Node is the home directory; Arg packs
+	// (predicted destination, requester).
+	KindDirUnicast
+	// KindDirMulticast is the directory multicasting invalidations to the
+	// sharer set. Node is the home directory; Arg packs (target count,
+	// requester).
+	KindDirMulticast
+	// KindDirBusyNack is the directory rejecting a request because the
+	// line's entry is busy. Node is the home directory; Arg packs
+	// (0, requester) plus the request id.
+	KindDirBusyNack
+
+	// KindMax is one past the largest valid kind (decoder validation).
+	KindMax
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSend:
+		return "send"
+	case KindTxBegin:
+		return "tx-begin"
+	case KindTxCommit:
+		return "tx-commit"
+	case KindTxAbort:
+		return "tx-abort"
+	case KindConflict:
+		return "conflict"
+	case KindDirUnicast:
+		return "dir-unicast"
+	case KindDirMulticast:
+		return "dir-multicast"
+	case KindDirBusyNack:
+		return "dir-busy-nack"
+	default:
+		return "kind-?"
+	}
+}
+
+// Event is one observed simulation event. Events are comparable (==), which
+// is what the first-divergence differ relies on; every field is a value.
+// Arg is a Kind-specific packed payload — use the Pack/Unpack helpers.
+type Event struct {
+	Cycle sim.Time
+	Arg   uint64
+	Line  mem.LineID // 0 when the event has no line
+	Node  int16      // the acting node (sender, defender, or home directory)
+	Kind  Kind
+}
+
+// Sink receives events as the simulation emits them. Emit takes the event
+// by value (no boxing, no allocation at the call site) and must not retain
+// references into the caller. Implementations are used from a single
+// simulation goroutine and need no locking.
+type Sink interface {
+	Emit(e Event)
+}
+
+// Buffer is the standard in-memory sink: an append-only event log whose
+// backing array is retained across Reset, so one buffer serves a whole
+// sweep's worth of runs without re-allocating.
+type Buffer struct {
+	evs []Event
+}
+
+// Emit implements Sink.
+func (b *Buffer) Emit(e Event) { b.evs = append(b.evs, e) }
+
+// Events returns the recorded events. The slice aliases the buffer's
+// storage: copy it before the next Reset/Emit if it must survive.
+func (b *Buffer) Events() []Event { return b.evs }
+
+// Len returns the number of recorded events.
+func (b *Buffer) Len() int { return len(b.evs) }
+
+// Reset empties the buffer, retaining capacity.
+func (b *Buffer) Reset() { b.evs = b.evs[:0] }
+
+// ---- Arg packing --------------------------------------------------------
+//
+// Arg layouts keep every field at a fixed shift so the differ can render
+// both sides of a divergence without type switches. Node indices fit 8 bits
+// (the directory supports at most 64 nodes); request ids keep their low 32
+// bits, which is plenty to disambiguate within any window a human inspects.
+
+// PackSend packs a KindSend payload.
+func PackSend(msgType uint8, dst, requester int, reqID uint64) uint64 {
+	return uint64(msgType) | uint64(uint8(dst))<<8 | uint64(uint8(requester))<<16 |
+		(reqID&0xFFFF_FFFF)<<32
+}
+
+// UnpackSend unpacks a KindSend payload.
+func UnpackSend(arg uint64) (msgType uint8, dst, requester int, reqID uint64) {
+	return uint8(arg), int(uint8(arg >> 8)), int(uint8(arg >> 16)), arg >> 32
+}
+
+// PackTx packs a transaction-lifecycle payload (KindTxBegin, KindTxCommit,
+// KindTxAbort, KindConflict). overflow is only meaningful for KindTxAbort;
+// isWrite only for KindConflict — they share a flag bit.
+func PackTx(staticID, attempt int, flag bool) uint64 {
+	v := uint64(uint32(staticID)) | uint64(uint32(attempt))<<32 &^ (1 << 63)
+	if flag {
+		v |= 1 << 63
+	}
+	return v
+}
+
+// UnpackTx unpacks a transaction-lifecycle payload.
+func UnpackTx(arg uint64) (staticID, attempt int, flag bool) {
+	return int(uint32(arg)), int(uint32(arg>>32) & 0x7FFF_FFFF), arg>>63 != 0
+}
+
+// PackDir packs a directory-decision payload (KindDirUnicast,
+// KindDirMulticast, KindDirBusyNack). n is the predicted destination
+// (unicast), the target count (multicast), or 0 (busy-nack).
+func PackDir(n, requester int, reqID uint64) uint64 {
+	return uint64(uint8(n)) | uint64(uint8(requester))<<8 | (reqID&0xFFFF_FFFF)<<32
+}
+
+// UnpackDir unpacks a directory-decision payload.
+func UnpackDir(arg uint64) (n, requester int, reqID uint64) {
+	return int(uint8(arg)), int(uint8(arg >> 8)), arg >> 32
+}

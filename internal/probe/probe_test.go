@@ -1,0 +1,162 @@
+package probe
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindSend: "send", KindTxBegin: "tx-begin", KindTxCommit: "tx-commit",
+		KindTxAbort: "tx-abort", KindConflict: "conflict",
+		KindDirUnicast: "dir-unicast", KindDirMulticast: "dir-multicast",
+		KindDirBusyNack: "dir-busy-nack",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(0).String() != "kind-?" || KindMax.String() != "kind-?" {
+		t.Errorf("invalid kinds should render as kind-?: got %q, %q", Kind(0).String(), KindMax.String())
+	}
+	// Every valid kind must have a distinct name (decoder diagnostics rely
+	// on the vocabulary being unambiguous).
+	seen := map[string]Kind{}
+	for k := KindSend; k < KindMax; k++ {
+		s := k.String()
+		if s == "kind-?" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %d and %d share name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}
+
+func TestBuffer(t *testing.T) {
+	var b Buffer
+	if b.Len() != 0 {
+		t.Fatalf("fresh buffer Len = %d", b.Len())
+	}
+	e1 := Event{Cycle: 10, Kind: KindSend, Node: 3, Line: 7, Arg: 42}
+	e2 := Event{Cycle: 11, Kind: KindTxBegin, Node: 4}
+	b.Emit(e1)
+	b.Emit(e2)
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	evs := b.Events()
+	if evs[0] != e1 || evs[1] != e2 {
+		t.Fatalf("Events() = %+v, want [%+v %+v]", evs, e1, e2)
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+	b.Emit(e2)
+	if got := b.Events()[0]; got != e2 {
+		t.Fatalf("Emit after Reset = %+v, want %+v", got, e2)
+	}
+}
+
+func TestPackSendRoundTrip(t *testing.T) {
+	cases := []struct {
+		msgType  uint8
+		dst, req int
+		reqID    uint64
+	}{
+		{0, 0, 0, 0},
+		{14, 63, 63, 0xFFFF_FFFF},
+		{1, 15, 0, 12345},
+	}
+	for _, c := range cases {
+		mt, dst, req, id := UnpackSend(PackSend(c.msgType, c.dst, c.req, c.reqID))
+		if mt != c.msgType || dst != c.dst || req != c.req || id != c.reqID {
+			t.Errorf("PackSend%v round-tripped to (%d,%d,%d,%d)", c, mt, dst, req, id)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		c := struct {
+			mt       uint8
+			dst, req int
+			id       uint64
+		}{uint8(rng.Intn(256)), rng.Intn(64), rng.Intn(64), uint64(rng.Int63()) & 0xFFFF_FFFF}
+		mt, dst, req, id := UnpackSend(PackSend(c.mt, c.dst, c.req, c.id))
+		if mt != c.mt || dst != c.dst || req != c.req || id != c.id {
+			t.Fatalf("PackSend%v round-tripped to (%d,%d,%d,%d)", c, mt, dst, req, id)
+		}
+	}
+}
+
+func TestPackTxRoundTrip(t *testing.T) {
+	cases := []struct {
+		staticID, attempt int
+		flag              bool
+	}{
+		{0, 0, false},
+		{0, 0, true},
+		{1, 1, false},
+		{1 << 31, 0x7FFF_FFFF, true}, // attempt saturates at 31 bits
+		{42, 17, true},
+	}
+	for _, c := range cases {
+		id, at, fl := UnpackTx(PackTx(c.staticID, c.attempt, c.flag))
+		wantID := int(uint32(c.staticID))
+		wantAt := c.attempt & 0x7FFF_FFFF
+		if id != wantID || at != wantAt || fl != c.flag {
+			t.Errorf("PackTx%v round-tripped to (%d,%d,%v), want (%d,%d,%v)",
+				c, id, at, fl, wantID, wantAt, c.flag)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		staticID, attempt, flag := rng.Intn(1<<31), rng.Intn(1<<31), rng.Intn(2) == 0
+		id, at, fl := UnpackTx(PackTx(staticID, attempt, flag))
+		if id != staticID || at != attempt || fl != flag {
+			t.Fatalf("PackTx(%d,%d,%v) round-tripped to (%d,%d,%v)", staticID, attempt, flag, id, at, fl)
+		}
+	}
+}
+
+func TestPackDirRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		n, req, id := rng.Intn(64), rng.Intn(64), uint64(rng.Int63())&0xFFFF_FFFF
+		gn, greq, gid := UnpackDir(PackDir(n, req, id))
+		if gn != n || greq != req || gid != id {
+			t.Fatalf("PackDir(%d,%d,%d) round-tripped to (%d,%d,%d)", n, req, id, gn, greq, gid)
+		}
+	}
+}
+
+// The flag bit must never leak into the attempt field or vice versa: the
+// differ renders both, and a cross-talking bit would misdiagnose an
+// overflow abort as a different attempt number.
+func TestPackTxFieldIsolation(t *testing.T) {
+	withFlag := PackTx(7, 9, true)
+	without := PackTx(7, 9, false)
+	if withFlag == without {
+		t.Fatal("flag bit not encoded")
+	}
+	if withFlag^without != 1<<63 {
+		t.Fatalf("flag flips more than bit 63: %#x", withFlag^without)
+	}
+}
+
+func TestEventIsComparable(t *testing.T) {
+	a := Event{Cycle: sim.Time(5), Arg: 9, Line: mem.LineID(2), Node: 1, Kind: KindConflict}
+	b := a
+	if a != b {
+		t.Fatal("identical events compare unequal")
+	}
+	b.Arg++
+	if a == b {
+		t.Fatal("different events compare equal")
+	}
+}

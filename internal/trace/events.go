@@ -1,0 +1,262 @@
+// Event traces: the compact binary encoding of a run's probe.Event stream.
+//
+// A workload Trace (trace.go) pins down what a run *executes*; an
+// EventTrace pins down what it *did* — every coherence message, transaction
+// lifecycle edge, conflict, and directory decision, in emission order. Two
+// runs with the same (config, workload, seed) produce byte-identical event
+// traces, which is what makes the first-divergence differ (diff.go) a
+// sharper tool than comparing rendered dumps.
+//
+// On-disk format (everything after the magic is varint-framed):
+//
+//	magic   "punoevt/1"                          9 bytes
+//	uvarint len(workload), workload bytes
+//	uvarint len(scheme), scheme bytes
+//	uvarint seed
+//	uvarint line count N
+//	N ×     uvarint line>>6                      (lines are 64-byte aligned)
+//	uvarint event count M
+//	M ×     uvarint cycle delta                  (vs previous event; ≥ 0)
+//	        byte    kind                         (0 < kind < probe.KindMax)
+//	        uvarint node
+//	        uvarint line id                      (index into the line table; 0 = none)
+//	        uvarint arg
+//	fnv32a  checksum over all preceding bytes    4 bytes big-endian
+//
+// Cycles are engine time, which is monotone non-decreasing across the
+// stream, so deltas are small and the encoder rejects any stream that
+// violates monotonicity rather than silently wrapping. The trailing
+// checksum means mid-stream truncation and bit corruption are both
+// detected before any event is handed to a caller.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/mem"
+	"repro/internal/probe"
+	"repro/internal/sim"
+)
+
+// EventTrace is one run's event stream plus the metadata needed to render
+// and compare it: which workload/scheme/seed produced it, and the line
+// table mapping the events' dense LineIDs back to addresses. Each trace
+// carries its own line table because interning is first-touch: two runs
+// that diverge also intern lines in different orders, so a shared table
+// would mis-render one side.
+type EventTrace struct {
+	Workload string
+	Scheme   string
+	Seed     uint64
+	Lines    []mem.Line
+	Events   []probe.Event
+}
+
+// LineOf renders the line behind a trace-local LineID ("-" when the event
+// carries no line, "line#N" when the ID is outside the table).
+func (t *EventTrace) LineOf(id mem.LineID) string {
+	if id == 0 {
+		return "-"
+	}
+	if int(id) > len(t.Lines) {
+		return fmt.Sprintf("line#%d", id)
+	}
+	return t.Lines[id-1].String()
+}
+
+// evtMagic versions the binary encoding (see the package comment for the
+// layout). Distinct from the workload-trace magic: the two formats share a
+// directory, not a decoder.
+const evtMagic = "punoevt/1"
+
+// Save writes the trace in the binary event format.
+func (t *EventTrace) Save(w io.Writer) error {
+	buf, err := t.encode(nil)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// encode appends the full encoding (magic through checksum) to dst.
+func (t *EventTrace) encode(dst []byte) ([]byte, error) {
+	b := append(dst, evtMagic...)
+	b = appendString(b, t.Workload)
+	b = appendString(b, t.Scheme)
+	b = binary.AppendUvarint(b, t.Seed)
+	b = binary.AppendUvarint(b, uint64(len(t.Lines)))
+	for _, l := range t.Lines {
+		if uint64(l)&(mem.LineBytes-1) != 0 {
+			return nil, fmt.Errorf("trace: unaligned line %v in line table", l)
+		}
+		b = binary.AppendUvarint(b, uint64(l)>>6)
+	}
+	b = binary.AppendUvarint(b, uint64(len(t.Events)))
+	prev := sim.Time(0)
+	for i, e := range t.Events {
+		if e.Cycle < prev {
+			return nil, fmt.Errorf("trace: event %d cycle %d precedes event %d cycle %d (stream not monotone)",
+				i, e.Cycle, i-1, prev)
+		}
+		if e.Kind == 0 || e.Kind >= probe.KindMax {
+			return nil, fmt.Errorf("trace: event %d has invalid kind %d", i, e.Kind)
+		}
+		if e.Node < 0 {
+			return nil, fmt.Errorf("trace: event %d has negative node %d", i, e.Node)
+		}
+		if e.Line < 0 {
+			return nil, fmt.Errorf("trace: event %d has negative line id %d", i, e.Line)
+		}
+		b = binary.AppendUvarint(b, uint64(e.Cycle-prev))
+		b = append(b, byte(e.Kind))
+		b = binary.AppendUvarint(b, uint64(e.Node))
+		b = binary.AppendUvarint(b, uint64(e.Line))
+		b = binary.AppendUvarint(b, e.Arg)
+		prev = e.Cycle
+	}
+	h := fnv.New32a()
+	h.Write(b[len(dst):])
+	return h.Sum(b), nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// LoadEvents reads a trace written by Save. It reads the stream to EOF and
+// verifies the trailing checksum before decoding, so truncated and
+// corrupted files fail loudly instead of yielding a shortened stream.
+func LoadEvents(r io.Reader) (*EventTrace, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading event trace: %w", err)
+	}
+	return DecodeEvents(raw)
+}
+
+// DecodeEvents decodes one complete binary event trace.
+func DecodeEvents(raw []byte) (*EventTrace, error) {
+	if len(raw) < len(evtMagic)+4 {
+		return nil, fmt.Errorf("trace: event trace truncated (%d bytes)", len(raw))
+	}
+	if string(raw[:len(evtMagic)]) != evtMagic {
+		return nil, fmt.Errorf("trace: bad event-trace magic %q (want %q)", raw[:len(evtMagic)], evtMagic)
+	}
+	body, sum := raw[:len(raw)-4], raw[len(raw)-4:]
+	h := fnv.New32a()
+	h.Write(body)
+	if got := h.Sum32(); got != binary.BigEndian.Uint32(sum) {
+		return nil, fmt.Errorf("trace: event-trace checksum mismatch (file truncated or corrupted)")
+	}
+	d := evtDecoder{buf: body[len(evtMagic):]}
+	t := &EventTrace{}
+	t.Workload = d.str("workload")
+	t.Scheme = d.str("scheme")
+	t.Seed = d.uvarint("seed")
+	nLines := d.count("line count", 1<<32)
+	if d.err == nil && nLines > 0 {
+		t.Lines = make([]mem.Line, nLines)
+		for i := range t.Lines {
+			t.Lines[i] = mem.Line(d.uvarint("line") << 6)
+		}
+	}
+	nEvents := d.count("event count", 1<<40)
+	if d.err == nil && nEvents > 0 {
+		t.Events = make([]probe.Event, nEvents)
+		cycle := sim.Time(0)
+		for i := range t.Events {
+			cycle += sim.Time(d.uvarint("cycle delta"))
+			kind := probe.Kind(d.byte("kind"))
+			node := d.uvarint("node")
+			lid := d.uvarint("line id")
+			arg := d.uvarint("arg")
+			if d.err != nil {
+				break
+			}
+			if kind == 0 || kind >= probe.KindMax {
+				return nil, fmt.Errorf("trace: event %d has invalid kind %d", i, kind)
+			}
+			if node > 1<<15-1 {
+				return nil, fmt.Errorf("trace: event %d has implausible node %d", i, node)
+			}
+			if lid > uint64(nLines) {
+				return nil, fmt.Errorf("trace: event %d line id %d outside line table (%d lines)", i, lid, nLines)
+			}
+			t.Events[i] = probe.Event{
+				Cycle: cycle, Arg: arg, Line: mem.LineID(lid), Node: int16(node), Kind: kind,
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("trace: %d trailing bytes after event stream", len(d.buf))
+	}
+	return t, nil
+}
+
+// evtDecoder is a cursor over the checksummed body; the first framing error
+// sticks and every later read is a no-op, so decode loops need one check.
+type evtDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *evtDecoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("trace: event trace truncated reading %s", what)
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *evtDecoder) byte(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) == 0 {
+		d.err = fmt.Errorf("trace: event trace truncated reading %s", what)
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *evtDecoder) str(what string) string {
+	n := d.uvarint(what + " length")
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("trace: event trace truncated reading %s (%d bytes claimed, %d left)", what, n, len(d.buf))
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+// count reads a length-prefix and bounds it (corrupt counts would otherwise
+// drive huge allocations before the per-item reads fail).
+func (d *evtDecoder) count(what string, max uint64) int {
+	v := d.uvarint(what)
+	if d.err == nil && v > max {
+		d.err = fmt.Errorf("trace: implausible %s %d", what, v)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return int(v)
+}

@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/probe"
+	"repro/internal/sim"
+)
+
+// naiveEncode is the reference encoder: a direct transcription of the
+// format spec in events.go's package comment, written with none of the
+// production code's structure. The property tests hold the production
+// encoder to byte-equality with this one, so a framing bug would have to
+// appear identically in two independent transcriptions to slip through.
+func naiveEncode(t *EventTrace) []byte {
+	var b bytes.Buffer
+	b.WriteString("punoevt/1")
+	uv := func(v uint64) {
+		var tmp [binary.MaxVarintLen64]byte
+		b.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+	}
+	uv(uint64(len(t.Workload)))
+	b.WriteString(t.Workload)
+	uv(uint64(len(t.Scheme)))
+	b.WriteString(t.Scheme)
+	uv(t.Seed)
+	uv(uint64(len(t.Lines)))
+	for _, l := range t.Lines {
+		uv(uint64(l) >> 6)
+	}
+	uv(uint64(len(t.Events)))
+	prev := uint64(0)
+	for _, e := range t.Events {
+		uv(uint64(e.Cycle) - prev)
+		b.WriteByte(byte(e.Kind))
+		uv(uint64(e.Node))
+		uv(uint64(e.Line))
+		uv(e.Arg)
+		prev = uint64(e.Cycle)
+	}
+	h := fnv.New32a()
+	h.Write(b.Bytes())
+	return h.Sum(b.Bytes())
+}
+
+// randomTrace builds a valid random event trace: monotone non-decreasing
+// cycles, kinds in range, line ids within the line table.
+func randomTrace(rng *rand.Rand, nEvents int) *EventTrace {
+	nLines := rng.Intn(20)
+	t := &EventTrace{
+		Workload: []string{"", "intruder", "a/b with spaces", "μworkload"}[rng.Intn(4)],
+		Scheme:   []string{"Baseline", "PUNO", ""}[rng.Intn(3)],
+		Seed:     rng.Uint64(),
+		Lines:    make([]mem.Line, nLines),
+	}
+	for i := range t.Lines {
+		t.Lines[i] = mem.Line(uint64(rng.Int63n(1<<40)) << 6)
+	}
+	cycle := sim.Time(0)
+	for i := 0; i < nEvents; i++ {
+		cycle += sim.Time(rng.Intn(1000))
+		t.Events = append(t.Events, probe.Event{
+			Cycle: cycle,
+			Arg:   rng.Uint64(),
+			Line:  mem.LineID(rng.Intn(nLines + 1)),
+			Node:  int16(rng.Intn(64)),
+			Kind:  probe.Kind(1 + rng.Intn(int(probe.KindMax)-1)),
+		})
+	}
+	return t
+}
+
+func TestEncodeMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		tr := randomTrace(rng, rng.Intn(200))
+		var got bytes.Buffer
+		if err := tr.Save(&got); err != nil {
+			t.Fatalf("case %d: Save: %v", i, err)
+		}
+		want := naiveEncode(tr)
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("case %d: production encoding differs from reference (%d vs %d bytes)",
+				i, got.Len(), len(want))
+		}
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		tr := randomTrace(rng, rng.Intn(300))
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatalf("case %d: Save: %v", i, err)
+		}
+		got, err := LoadEvents(&buf)
+		if err != nil {
+			t.Fatalf("case %d: LoadEvents: %v", i, err)
+		}
+		if got.Workload != tr.Workload || got.Scheme != tr.Scheme || got.Seed != tr.Seed {
+			t.Fatalf("case %d: metadata mismatch: %+v vs %+v", i, got, tr)
+		}
+		if !reflect.DeepEqual(noEmpty(got.Lines), noEmpty(tr.Lines)) {
+			t.Fatalf("case %d: line table mismatch", i)
+		}
+		if !reflect.DeepEqual(noEmptyEv(got.Events), noEmptyEv(tr.Events)) {
+			t.Fatalf("case %d: events mismatch:\n got %v\nwant %v", i, got.Events, tr.Events)
+		}
+	}
+}
+
+// noEmpty/noEmptyEv normalize nil vs empty slices for DeepEqual.
+func noEmpty(s []mem.Line) []mem.Line {
+	if len(s) == 0 {
+		return nil
+	}
+	return s
+}
+
+func noEmptyEv(s []probe.Event) []probe.Event {
+	if len(s) == 0 {
+		return nil
+	}
+	return s
+}
+
+// Truncating the stream anywhere — including cutting into the checksum —
+// must fail decoding, never silently shorten the event list.
+func TestTruncationDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := randomTrace(rng, 50)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeEvents(full[:cut]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded without error", cut, len(full))
+		}
+	}
+}
+
+// Flipping any single byte must fail decoding (the checksum covers the
+// whole body, and the trailing bytes are the checksum itself).
+func TestCorruptionDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tr := randomTrace(rng, 30)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := 0; i < len(full); i++ {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x41
+		if _, err := DecodeEvents(mut); err == nil {
+			t.Fatalf("flipping byte %d of %d decoded without error", i, len(full))
+		}
+	}
+}
+
+func TestEncoderRejectsInvalidStreams(t *testing.T) {
+	base := func() *EventTrace {
+		return &EventTrace{
+			Workload: "w", Scheme: "s",
+			Lines: []mem.Line{0x40},
+			Events: []probe.Event{
+				{Cycle: 10, Kind: probe.KindSend, Node: 1, Line: 1},
+				{Cycle: 20, Kind: probe.KindTxBegin, Node: 2},
+			},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*EventTrace)
+	}{
+		{"non-monotone cycles", func(t *EventTrace) { t.Events[1].Cycle = 5 }},
+		{"zero kind", func(t *EventTrace) { t.Events[0].Kind = 0 }},
+		{"kind out of range", func(t *EventTrace) { t.Events[0].Kind = probe.KindMax }},
+		{"negative node", func(t *EventTrace) { t.Events[0].Node = -1 }},
+		{"negative line id", func(t *EventTrace) { t.Events[0].Line = -3 }},
+		{"unaligned line", func(t *EventTrace) { t.Lines[0] = 0x41 }},
+	}
+	for _, c := range cases {
+		tr := base()
+		c.mut(tr)
+		if err := tr.Save(&bytes.Buffer{}); err == nil {
+			t.Errorf("%s: Save succeeded, want error", c.name)
+		}
+	}
+	if err := base().Save(&bytes.Buffer{}); err != nil {
+		t.Fatalf("unmutated base trace must encode: %v", err)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	if _, err := DecodeEvents([]byte("not a trace at all")); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+	if _, err := DecodeEvents(nil); err == nil {
+		t.Fatal("empty input decoded without error")
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(11)), 5)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Appending data invalidates the checksum position, so this doubles as
+	// a checksum-coverage check; build a crafted stream with valid checksum
+	// over body+junk to hit the trailing-bytes path specifically.
+	body := buf.Bytes()[:buf.Len()-4]
+	crafted := append(append([]byte(nil), body...), 0x00, 0x00)
+	h := fnv.New32a()
+	h.Write(crafted)
+	crafted = h.Sum(crafted)
+	if _, err := DecodeEvents(crafted); err == nil {
+		t.Fatal("stream with trailing bytes decoded without error")
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	tr := &EventTrace{Lines: []mem.Line{0x40, 0x80}}
+	if got := tr.LineOf(0); got != "-" {
+		t.Errorf("LineOf(0) = %q", got)
+	}
+	if got := tr.LineOf(2); got != "0x80" {
+		t.Errorf("LineOf(2) = %q", got)
+	}
+	if got := tr.LineOf(9); got != "line#9" {
+		t.Errorf("LineOf(9) = %q", got)
+	}
+}
+
+// FuzzDecodeEvents certifies the decoder never panics and that anything it
+// accepts re-encodes to an equivalent trace.
+func FuzzDecodeEvents(f *testing.F) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 8; i++ {
+		tr := randomTrace(rng, rng.Intn(40))
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("punoevt/1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeEvents(data)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		again, err := DecodeEvents(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(noEmptyEv(tr.Events), noEmptyEv(again.Events)) {
+			t.Fatal("decode→encode→decode changed the event stream")
+		}
+	})
+}

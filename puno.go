@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/stamp"
 	"repro/internal/trace"
@@ -179,3 +180,51 @@ func RecordTrace(wl Workload, nodes int, seed uint64) *Trace {
 
 // LoadTrace reads a trace written by Trace.Save.
 func LoadTrace(r io.Reader) (*Trace, error) { return trace.Load(r) }
+
+// Event-level observability: every coherence message, transaction
+// lifecycle edge, detected conflict, and directory forwarding decision a
+// run produces, recorded through Config.EventSink and compared with a
+// first-divergence differ. See cmd/punotrace's events/diff subcommands
+// for the CLI surface.
+type (
+	// Event is one recorded simulation event (see the Kind constants in
+	// internal/probe for the vocabulary).
+	Event = probe.Event
+	// EventSink is the hook type Config.EventSink accepts.
+	EventSink = probe.Sink
+	// EventBuffer is the standard in-memory EventSink, reusable across
+	// runs via Reset.
+	EventBuffer = probe.Buffer
+	// EventTrace is one run's recorded event stream plus the metadata to
+	// render and compare it.
+	EventTrace = trace.EventTrace
+	// Divergence locates the first disagreement between two event streams.
+	Divergence = trace.Divergence
+	// PrefixChecker verifies a live run against a recorded event stream as
+	// it happens (replay-from-prefix).
+	PrefixChecker = trace.PrefixChecker
+)
+
+// CaptureEvents runs wl under cfg with an event sink installed and returns
+// the run's measurements together with its full event trace.
+func CaptureEvents(cfg Config, wl Workload) (*Result, *EventTrace, error) {
+	return trace.CaptureEvents(cfg, wl)
+}
+
+// LoadEventTrace reads a binary event trace written by EventTrace.Save.
+func LoadEventTrace(r io.Reader) (*EventTrace, error) { return trace.LoadEvents(r) }
+
+// FirstDivergence compares two event traces and returns the first event
+// where they disagree (ok=false when the streams are identical).
+func FirstDivergence(a, b *EventTrace) (d Divergence, ok bool) {
+	return trace.FirstDivergence(a, b)
+}
+
+// FormatDivergence renders a divergence as a one-line diagnosis.
+func FormatDivergence(a, b *EventTrace, d Divergence) string {
+	return trace.FormatDivergence(a, b, d)
+}
+
+// NewPrefixChecker returns an EventSink expecting the given recorded
+// stream; install it via Config.EventSink and query Diverged after Run.
+func NewPrefixChecker(ref []Event) *PrefixChecker { return trace.NewPrefixChecker(ref) }
