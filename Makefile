@@ -2,7 +2,7 @@ GO ?= go
 BENCH ?= BenchmarkSweepParallelism
 BENCH_COUNT ?= 8
 
-.PHONY: all test lint race cover cover-update bench bench-baseline bench-compare bench-snapshot golden clean
+.PHONY: all test lint race race-shards cover cover-update bench bench-baseline bench-compare bench-snapshot bench-snapshot-pdes golden clean
 
 all: test
 
@@ -22,6 +22,12 @@ lint:
 # Race-detector pass over everything; certifies the parallel sweep runner.
 race:
 	$(GO) test -race ./...
+
+# Race-detector pass over just the PDES determinism certification: the
+# coordinator's bit-identity claim under racing shard workers. A named
+# subset so CI keeps it even if the full race matrix is ever trimmed.
+race-shards:
+	$(GO) test -race -run 'Sharded' . ./internal/pdes
 
 # Per-package coverage audit: measure `go test -cover` for every internal
 # package and gate it against the committed floors in COVERAGE.json. Any
@@ -70,10 +76,16 @@ bench-snapshot:
 	$(GO) test -run '^$$' -bench '$(BENCH)/serial$$' -benchmem -count $(BENCH_COUNT) . | tee bench_snapshot.txt
 	$(GO) run ./cmd/benchsnap -in bench_snapshot.txt -out BENCH_sweep.json -note '$(NOTE)'
 
+# Refresh the single-machine PDES pair (big-serial vs big-sharded, 64-node
+# 8x8 config) in BENCH_sweep.json. Describe the run with NOTE=...
+bench-snapshot-pdes:
+	$(GO) test -run '^$$' -bench '$(BENCH)/big-' -benchmem -count $(BENCH_COUNT) . | tee bench_pdes.txt
+	$(GO) run ./cmd/benchsnap -in bench_pdes.txt -out BENCH_sweep.json -pair -note '$(NOTE)'
+
 # Regenerate the determinism golden files after an intentional change.
 golden:
 	$(GO) test -run Golden -update .
 
 clean:
 	$(GO) clean ./...
-	rm -f bench_base.txt bench_new.txt bench_snapshot.txt cover.txt
+	rm -f bench_base.txt bench_new.txt bench_snapshot.txt bench_pdes.txt cover.txt

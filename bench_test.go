@@ -308,6 +308,38 @@ func BenchmarkSweepParallelism(b *testing.B) {
 		})
 	}
 
+	// big-serial vs big-sharded is the PDES speedup pair: one 64-node
+	// (8x8 mesh) high-contention simulation, first on the classic serial
+	// engine, then sharded four ways under the conservative-lookahead
+	// coordinator. Results are bit-identical (the determinism suite
+	// certifies that); the ns/op ratio is the single-simulation speedup
+	// parallel in-machine execution buys on this host.
+	bigWL := MustWorkload("intruder").WithTxPerCPU(4)
+	bigCfg := func(shards int) Config {
+		cfg := benchConfig()
+		cfg.Scheme = SchemePUNO
+		cfg.Mesh.Width, cfg.Mesh.Height = 8, 8
+		cfg.Nodes = 64
+		cfg.Shards = shards
+		return cfg
+	}
+	for _, bc := range []struct {
+		name   string
+		shards int
+	}{
+		{"big-serial", 1},
+		{"big-sharded", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := bigCfg(bc.shards)
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg, bigWL); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
 	// serial-traced is the serial sweep with an event sink installed on
 	// every spec: the cost of leaving event tracing on. The serial variant
 	// above runs with the sink nil, so comparing the two isolates the

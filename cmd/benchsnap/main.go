@@ -42,15 +42,26 @@ type improvement struct {
 	TimeReductionPct float64 `json:"time_reduction_pct"`
 }
 
+// pair records the single-machine PDES benchmark pair: the same 64-node
+// simulation serial and sharded, with the sharded/serial wall-clock ratio.
+type pair struct {
+	Description string  `json:"description"`
+	Note        string  `json:"note"`
+	BigSerial   entry   `json:"big_serial"`
+	BigSharded  entry   `json:"big_sharded"`
+	Speedup     float64 `json:"speedup"`
+}
+
 type snapshot struct {
-	Benchmark    string      `json:"benchmark"`
-	Description  string      `json:"description"`
-	Machine      string      `json:"machine"`
-	Date         string      `json:"date"`
-	GoBenchFlags string      `json:"go_bench_flags"`
-	Baseline     entry       `json:"baseline"`
-	Current      entry       `json:"current"`
-	Improvement  improvement `json:"improvement"`
+	Benchmark     string      `json:"benchmark"`
+	Description   string      `json:"description"`
+	Machine       string      `json:"machine"`
+	Date          string      `json:"date"`
+	GoBenchFlags  string      `json:"go_bench_flags"`
+	Baseline      entry       `json:"baseline"`
+	Current       entry       `json:"current"`
+	Improvement   improvement `json:"improvement"`
+	SingleMachine *pair       `json:"single_machine,omitempty"`
 }
 
 func main() {
@@ -69,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		bench = fs.String("bench", "BenchmarkSweepParallelism/serial", "benchmark name to extract")
 		note  = fs.String("note", "", "description of the change recorded as the new current entry")
 		emit  = fs.String("emit", "", "print the named snapshot entry (baseline|current) in Go benchmark format and exit")
+		prs   = fs.Bool("pair", false, "update the single_machine section from a big-serial/big-sharded run instead of rotating baseline/current")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +88,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if *emit != "" {
 		return emitEntry(stdout, *out, *emit)
+	}
+	// A snapshot rotation without a note produces an entry nobody can
+	// interpret later (what change do these numbers measure?), so refuse up
+	// front rather than commit an unlabeled baseline.
+	if strings.TrimSpace(*note) == "" {
+		return fmt.Errorf("refusing to update %s: -note is empty; describe the change being measured (make bench-snapshot NOTE='...')", *out)
 	}
 
 	var r io.Reader = os.Stdin
@@ -86,6 +104,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		defer f.Close()
 		r = f
+	}
+	if *prs {
+		return updatePair(stdout, r, *out, *note)
 	}
 	fresh, runs, err := parseBench(r, *bench)
 	if err != nil {
@@ -155,9 +176,14 @@ func parseBench(r io.Reader, bench string) (entry, int, error) {
 		if len(fields) < 3 {
 			continue
 		}
+		// Strip the -<GOMAXPROCS> suffix — but only when it is numeric:
+		// GOMAXPROCS=1 runs omit it entirely, and benchmark leaf names may
+		// themselves contain hyphens (big-serial).
 		name := fields[0]
 		if i := strings.LastIndex(name, "-"); i > 0 {
-			name = name[:i]
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
 		}
 		if name != bench {
 			continue
@@ -190,6 +216,50 @@ func parseBench(r io.Reader, bench string) (entry, int, error) {
 		BytesPerOp:  int64(math.Round(bSum / n)),
 		AllocsPerOp: int64(math.Round(aSum / n)),
 	}, runs, nil
+}
+
+// updatePair rewrites the snapshot's single_machine section from a run of
+// the big-serial/big-sharded benchmark pair (one 64-node simulation, serial
+// engine vs 4-shard PDES coordinator).
+func updatePair(stdout io.Writer, r io.Reader, out, note string) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	serial, sRuns, err := parseBench(strings.NewReader(string(data)), "BenchmarkSweepParallelism/big-serial")
+	if err != nil {
+		return err
+	}
+	sharded, _, err := parseBench(strings.NewReader(string(data)), "BenchmarkSweepParallelism/big-sharded")
+	if err != nil {
+		return err
+	}
+	snap, err := load(out)
+	if err != nil {
+		return err
+	}
+	speedup := 0.0
+	if sharded.NsPerOp > 0 {
+		speedup = math.Round(float64(serial.NsPerOp)/float64(sharded.NsPerOp)*100) / 100
+	}
+	snap.SingleMachine = &pair{
+		Description: "One 64-node (8x8 mesh) intruder/PUNO simulation: classic serial engine vs the 4-shard conservative-PDES coordinator (bit-identical output). speedup = serial/sharded wall clock.",
+		Note:        note,
+		BigSerial:   serial,
+		BigSharded:  sharded,
+		Speedup:     speedup,
+	}
+	snap.Date = time.Now().Format("2006-01-02")
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: single_machine over %d runs: big-serial %d ns/op, big-sharded %d ns/op (speedup %.2fx)\n",
+		out, sRuns, serial.NsPerOp, sharded.NsPerOp, speedup)
+	return nil
 }
 
 // emitEntry prints a snapshot entry as a Go benchmark line benchstat can

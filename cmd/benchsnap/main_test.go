@@ -101,8 +101,85 @@ func TestEmitBenchstatFormat(t *testing.T) {
 func TestNoMatchingBenchLinesFails(t *testing.T) {
 	benchPath, snapPath := writeFixtures(t)
 	var out, errb bytes.Buffer
-	err := run([]string{"-in", benchPath, "-out", snapPath, "-bench", "BenchmarkMissing"}, &out, &errb)
+	err := run([]string{"-in", benchPath, "-out", snapPath, "-note", "x", "-bench", "BenchmarkMissing"}, &out, &errb)
 	if err == nil || !strings.Contains(err.Error(), "no \"BenchmarkMissing\" lines") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRefusesEmptyNote: a rotation without a -note would commit numbers
+// nobody can attribute to a change later; the update must fail before
+// touching the snapshot.
+func TestRefusesEmptyNote(t *testing.T) {
+	benchPath, snapPath := writeFixtures(t)
+	before, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	for _, note := range []string{"", "   "} {
+		err := run([]string{"-in", benchPath, "-out", snapPath, "-note", note}, &out, &errb)
+		if err == nil || !strings.Contains(err.Error(), "-note is empty") {
+			t.Fatalf("note %q: err = %v, want empty-note refusal", note, err)
+		}
+	}
+	after, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("refused update still modified the snapshot")
+	}
+}
+
+const samplePairBench = `goos: linux
+pkg: repro
+BenchmarkSweepParallelism/big-serial-4        	      30	  30000000 ns/op	 6500000 B/op	  130000 allocs/op
+BenchmarkSweepParallelism/big-serial-4        	      30	  34000000 ns/op	 6500002 B/op	  130002 allocs/op
+BenchmarkSweepParallelism/big-sharded-4       	      20	  16000000 ns/op	 7300000 B/op	  133000 allocs/op
+BenchmarkSweepParallelism/big-sharded-4       	      20	  16000000 ns/op	 7300000 B/op	  133000 allocs/op
+PASS
+`
+
+// TestPairUpdatesSingleMachine: -pair averages big-serial and big-sharded
+// from the same run, stores both with the speedup ratio, and leaves the
+// baseline/current rotation untouched.
+func TestPairUpdatesSingleMachine(t *testing.T) {
+	_, snapPath := writeFixtures(t)
+	dir := filepath.Dir(snapPath)
+	pairPath := filepath.Join(dir, "pair.txt")
+	if err := os.WriteFile(pairPath, []byte(samplePairBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-in", pairPath, "-out", snapPath, "-pair", "-note", "pdes"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.SingleMachine == nil {
+		t.Fatal("single_machine section missing")
+	}
+	if s.SingleMachine.BigSerial.NsPerOp != 32000000 || s.SingleMachine.BigSharded.NsPerOp != 16000000 {
+		t.Fatalf("pair entries: %+v", s.SingleMachine)
+	}
+	if s.SingleMachine.Speedup != 2.0 {
+		t.Fatalf("speedup = %v, want 2.0", s.SingleMachine.Speedup)
+	}
+	if s.SingleMachine.Note != "pdes" {
+		t.Fatalf("note = %q", s.SingleMachine.Note)
+	}
+	if s.Current.Note != "pooled" || s.Baseline.Note != "seed" {
+		t.Fatal("pair update disturbed the baseline/current rotation")
+	}
+	// -pair with an empty note must refuse like a rotation does.
+	if err := run([]string{"-in", pairPath, "-out", snapPath, "-pair"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-note is empty") {
+		t.Fatalf("pair with empty note: err = %v", err)
 	}
 }

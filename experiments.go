@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/area"
 	"repro/internal/machine"
+	"repro/internal/pdes"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/stamp"
@@ -46,15 +47,32 @@ type RunSpec struct {
 // runArena is one worker's reusable simulation machine: the first run
 // builds it, later runs Reset it in place, so a long sweep pays machine
 // construction (caches, directory pools, event-queue slabs) once per worker
-// instead of once per sweep point.
+// instead of once per sweep point. Serial and sharded (PDES) runs keep
+// separate arenas, since a sweep may mix shardable and fallback specs.
 type runArena struct {
-	m *Machine
+	m  *Machine
+	co *pdes.Coordinator
 }
 
 // run executes one spec on the arena and returns a deep copy of the
 // result (the machine's Result is reused by the next run).
 func (a *runArena) run(sp RunSpec) (*Result, error) {
 	var err error
+	if pdes.Eligible(sp.Config, sp.Workload) {
+		if a.co == nil {
+			a.co, err = pdes.New(sp.Config, sp.Workload)
+		} else {
+			err = a.co.Reset(sp.Config, sp.Workload)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res, err := a.co.Run()
+		if err != nil {
+			return nil, err
+		}
+		return res.Clone(), nil
+	}
 	if a.m == nil {
 		a.m, err = machine.New(sp.Config, sp.Workload)
 	} else {
@@ -80,9 +98,19 @@ func (a *runArena) run(sp RunSpec) (*Result, error) {
 // pprof labels (task index and workload/scheme/seed), so CPU profiles
 // taken over a sweep attribute samples per sweep point.
 func RunSpecs(ctx context.Context, specs []RunSpec, opts SweepOptions) ([]*Result, error) {
+	// A sharded spec occupies Config.Shards goroutines while it runs, so
+	// tell the pool the widest task footprint and let it shrink the
+	// auto-selected worker count to keep total concurrency near GOMAXPROCS.
+	threads := 1
+	for _, sp := range specs {
+		if pdes.Eligible(sp.Config, sp.Workload) && sp.Config.Shards > threads {
+			threads = sp.Config.Shards
+		}
+	}
 	ropts := runner.Options{
-		Workers:  opts.Parallel,
-		Progress: opts.Progress,
+		Workers:     opts.Parallel,
+		TaskThreads: threads,
+		Progress:    opts.Progress,
 		Label: func(i int) string {
 			sp := specs[i]
 			return fmt.Sprintf("%s/%v/seed%d", sp.Workload.Name(), sp.Config.Scheme, sp.Config.Seed)

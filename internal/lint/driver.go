@@ -34,6 +34,7 @@ var auditedPkgs = map[string]bool{
 	"repro/internal/cm":        true,
 	"repro/internal/cache":     true,
 	"repro/internal/mem":       true,
+	"repro/internal/pdes":      true,
 }
 
 // noSuppressPkgs are packages where //puno:unordered and //puno:allow are
@@ -49,6 +50,11 @@ var noSuppressPkgs = map[string]bool{
 	// legitimate map iteration (the rebuild in Interner.Grow) is blessed
 	// structurally via maprangeAllowed instead.
 	"repro/internal/mem": true,
+	// The PDES coordinator reproduces the serial engine's total order from
+	// per-shard partial orders; an "order cannot matter" claim there is by
+	// definition a claim about the merge, which is exactly what must never
+	// be hand-waved. Bit-identity is the contract.
+	"repro/internal/pdes": true,
 }
 
 // audited reports whether the package is subject to the simulation-only

@@ -180,6 +180,25 @@ func TestDirectiveEnforcement(t *testing.T) {
 	}
 }
 
+// TestPdesEnrollment pins internal/pdes into punovet's audited and
+// no-suppression sets, and exercises every analyzer on the pdes-shaped
+// fixture (hot merge loop, dense renum tables, wall-clock-free window
+// edges, closure-free cross-shard injection).
+func TestPdesEnrollment(t *testing.T) {
+	if !audited("repro/internal/pdes") {
+		t.Error("repro/internal/pdes is not in punovet's audited set")
+	}
+	if !noSuppressPkgs["repro/internal/pdes"] {
+		t.Error("repro/internal/pdes permits suppressions; the merge core must stay suppression-free")
+	}
+	pkg := loadFixture(t, "pdes")
+	var findings []Finding
+	for _, a := range Default() {
+		findings = append(findings, runOn(t, a, pkg)...)
+	}
+	checkFindings(t, findings, parseWants(t, pkg))
+}
+
 // TestRealTreeClean is the acceptance gate: the repository's own simulation
 // packages carry zero findings, and the no-suppression core (sim, noc,
 // machine) carries zero //puno: suppressions.

@@ -109,6 +109,17 @@ type Config struct {
 
 	Seed uint64
 
+	// Shards, when > 1, runs the machine under the conservative PDES
+	// coordinator (internal/pdes): nodes are partitioned into contiguous
+	// mesh regions, each simulated by its own worker goroutine, with
+	// cross-shard messages merged in (cycle, seq) order so the trajectory —
+	// results and event traces — is bit-identical to the serial run. 0 or 1
+	// selects today's serial path, byte-for-byte unchanged. Configurations
+	// the coordinator cannot shard (SampleInterval, TraceFn, SchemeATS,
+	// workloads without a footprint hint) fall back to serial silently:
+	// sharding is an execution strategy, never an observable one.
+	Shards int
+
 	// TraceFn, when non-nil, receives a line for every notable protocol
 	// and core event (debugging aid; adds no cost when nil).
 	TraceFn func(cycle sim.Time, node int, event string)

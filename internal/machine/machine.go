@@ -68,6 +68,16 @@ type Machine struct {
 	// copy it by value). In steady state the pool makes the protocol
 	// traffic allocation-free.
 	msgFree []*coherence.Msg
+
+	// Shard-mode state (shard.go). [lo, hi) is the owned node range — the
+	// serial path owns [0, Nodes). xsend, when non-nil, intercepts every
+	// remote (Src != Dst) send: the PDES coordinator stages it for ordered
+	// replay on the global mesh instead of the shard's local one. ownIt
+	// retains the machine's private interner while a shard-shared interner
+	// displaces m.it, so an arena can switch modes without reallocating.
+	lo, hi int
+	xsend  func(*coherence.Msg)
+	ownIt  *mem.Interner
 }
 
 // newMsg pops a recycled message (fields NOT zeroed — callers overwrite
@@ -187,29 +197,47 @@ func New(cfg Config, wl Workload) (*Machine, error) {
 // trajectory. Reset may be called in any state, including after a failed
 // run — the engine reset drops all pending events.
 func (m *Machine) Reset(cfg Config, wl Workload) error {
+	return m.resetShard(cfg, wl, 0, cfg.Nodes, nil, nil)
+}
+
+// resetShard is Reset generalized to shard mode: the machine owns only the
+// nodes in [lo, hi), indexes its memory system by the coordinator-owned
+// shared interner, and hands every remote send to xsend. The construction
+// path is shared with the serial Reset line for line — in particular the
+// root RNG consumes exactly the same draw sequence whether a node is owned
+// or not, so every node's program and RNG stream is identical to the serial
+// build's.
+func (m *Machine) resetShard(cfg Config, wl Workload, lo, hi int, sharedIt *mem.Interner, xsend func(*coherence.Msg)) error {
 	if cfg.Nodes != cfg.Mesh.Width*cfg.Mesh.Height {
 		return fmt.Errorf("machine: %d nodes does not match %dx%d mesh",
 			cfg.Nodes, cfg.Mesh.Width, cfg.Mesh.Height)
 	}
 	m.cfg = cfg
+	m.lo, m.hi = lo, hi
+	m.xsend = xsend
 	if m.eng == nil {
 		m.eng = sim.NewEngine()
 	} else {
 		m.eng.Reset()
 	}
 	m.home = mem.NewHomeMap(cfg.Nodes)
-	if m.it == nil {
-		m.it = mem.NewInterner()
-	} else {
-		m.it.Reset()
+	if m.ownIt == nil {
+		m.ownIt = mem.NewInterner()
 	}
-	if fh, ok := wl.(FootprintHinter); ok {
-		m.it.Grow(fh.FootprintLines(cfg.Nodes))
+	if sharedIt != nil {
+		// The coordinator resets, pre-sizes, and shares the interner.
+		m.it = sharedIt
+	} else {
+		m.it = m.ownIt
+		m.it.Reset()
+		if fh, ok := wl.(FootprintHinter); ok {
+			m.it.Grow(fh.FootprintLines(cfg.Nodes))
+		}
 	}
 	if m.backing == nil {
 		m.backing = mem.NewBackingOn(m.it)
 	} else {
-		m.backing.Reset()
+		m.backing.ResetOn(m.it)
 	}
 	clear(m.l2Seen[:cap(m.l2Seen)])
 	m.l2Seen = m.l2Seen[:0]
@@ -248,6 +276,18 @@ func (m *Machine) Reset(cfg Config, wl Workload) error {
 		mb.ats = cm.NewATSGroup(cfg.Nodes)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
+		if i < lo || i >= hi {
+			// Non-owned node: consume exactly the two root-RNG draws its
+			// construction would (the program fork and the node-RNG fork),
+			// then skip the build. Stale arena objects are dropped — no
+			// dispatch path can reach a node outside [lo, hi).
+			m.rootRNG.Uint64()
+			m.rootRNG.Uint64()
+			m.preds[i] = nil
+			m.dirs[i] = nil
+			m.nodes[i] = nil
+			continue
+		}
 		var pred coherence.Predictor
 		m.preds[i] = nil
 		if usePred {
@@ -360,6 +400,14 @@ func (m *Machine) send(msg *coherence.Msg) {
 			Kind:  probe.KindSend,
 		})
 	}
+	if m.xsend != nil && msg.Src != msg.Dst {
+		// Shard mode: every remote message crosses (or may contend with
+		// traffic crossing) shard boundaries, so the coordinator stages it
+		// for (cycle, seq)-ordered replay over the one global mesh. Only
+		// node-local messages ride this shard's private mesh.
+		m.xsend(msg)
+		return
+	}
 	m.mesh.Send(msg.Src, msg.Dst, msg.Class(), msg.Flits(), msg)
 }
 
@@ -367,10 +415,11 @@ func (m *Machine) send(msg *coherence.Msg) {
 // dispatch, the low half carries the node id. Replacing per-message
 // closures with these codes keeps deferred dispatch allocation-free.
 const (
-	mevSend uint64 = iota // delayed directory send: put msg on the mesh
-	mevDir                // directory Handle after occupancy wait
-	mevFwd                // L1 handleForward after occupancy wait
-	mevResp               // L1 handleResponse after occupancy wait
+	mevSend    uint64 = iota // delayed directory send: put msg on the mesh
+	mevDir                   // directory Handle after occupancy wait
+	mevFwd                   // L1 handleForward after occupancy wait
+	mevResp                  // L1 handleResponse after occupancy wait
+	mevDeliver               // coordinator-injected remote arrival: dispatch to node
 )
 
 // OnEvent implements sim.Handler for deferred message dispatch.
@@ -389,6 +438,8 @@ func (m *Machine) OnEvent(arg any, word uint64) {
 	case mevResp:
 		m.nodes[id].handleResponse(msg)
 		m.freeMsg(msg)
+	case mevDeliver:
+		m.deliver(id, msg)
 	default:
 		panic(fmt.Sprintf("machine: unknown event code %d", word>>32))
 	}

@@ -1,0 +1,126 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/noc"
+)
+
+// hintedCounters adds the footprint hint shard mode requires: every counter
+// line plus slack for the disjoint think/compute traffic.
+type hintedCounters struct{ counterWorkload }
+
+func (w hintedCounters) FootprintLines(nodes int) int { return w.counters + nodes + 64 }
+
+// runSingleShard drives one full-range shard through a complete run with a
+// test-local replay of the coordinator's xsend contract: every remote send
+// reserves links on a global mesh and re-injects at the reserved delivery
+// time. With one shard there is no window interleaving, so the trajectory —
+// and the merged Result — must be value-identical to the serial run.
+func runSingleShard(t *testing.T, sh *Machine, gmesh *noc.Mesh, cfg Config, wl Workload) *Result {
+	t.Helper()
+	for i := 0; i < cfg.Nodes; i++ {
+		sh.StartNode(i)
+	}
+	eng := sh.Engine()
+	for {
+		if _, _, ok := eng.Peek(); !ok {
+			break
+		}
+		if !eng.Step() {
+			break
+		}
+		if err := sh.RunErr(); err != nil {
+			t.Fatal(err)
+		}
+		if eng.Now() > cfg.MaxCycles {
+			t.Fatal("sharded run exceeded MaxCycles")
+		}
+	}
+	if sh.Active() != 0 {
+		t.Fatalf("%d nodes still active after the event queue drained", sh.Active())
+	}
+	part := sh.FinalizeShard()
+	return MergeShardResults(wl.Name(), cfg.Scheme, cfg.Nodes, []*Result{part}, gmesh.Stats())
+}
+
+func TestSingleShardMatchesSerial(t *testing.T) {
+	wl := hintedCounters{counterWorkload{name: "counters", txPerCPU: 8, counters: 8, incrsPer: 2, think: 30}}
+	cfg := smallConfig(SchemePUNO, 42)
+	_, serial := runWorkload(t, cfg, wl)
+
+	it := mem.NewInterner()
+	it.Grow(wl.FootprintLines(cfg.Nodes))
+	it.SetShared(true)
+
+	var sh *Machine
+	var gmesh *noc.Mesh
+	xsend := func(msg *coherence.Msg) {
+		at := gmesh.ReserveRoute(sh.Engine().Now(), msg.Src, msg.Dst, msg.Class(), msg.Flits())
+		sh.InjectDeliver(at, msg)
+	}
+	sh, err := NewShard(cfg, wl, 0, cfg.Nodes, it, xsend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmesh = noc.New(cfg.Mesh, sh.Engine())
+
+	merged := runSingleShard(t, sh, gmesh, cfg, wl)
+	if !reflect.DeepEqual(serial, merged) {
+		t.Fatalf("single-shard run diverged from serial:\nserial: %+v\nshard:  %+v", serial, merged)
+	}
+
+	// The full-range shard interns lines in the serial touch order, so even
+	// the (normally order-unstable) line table matches.
+	serialM, _ := runWorkload(t, cfg, wl)
+	if !reflect.DeepEqual(serialM.LineTable(), sh.LineTable()) {
+		t.Fatal("single-shard line table diverged from serial touch order")
+	}
+
+	// ResetShard reuses the arena for a fresh, equally identical run.
+	it.Reset()
+	it.SetShared(true)
+	if err := sh.ResetShard(cfg, wl, 0, cfg.Nodes, it, xsend); err != nil {
+		t.Fatal(err)
+	}
+	gmesh.Reset(cfg.Mesh, sh.Engine())
+	again := runSingleShard(t, sh, gmesh, cfg, wl)
+	if !reflect.DeepEqual(serial, again) {
+		t.Fatalf("post-ResetShard run diverged from serial:\nserial: %+v\nshard:  %+v", serial, again)
+	}
+}
+
+// A partial-range shard builds controllers only for owned nodes while
+// consuming the root RNG exactly as the serial build does, so ownership
+// never perturbs another shard's programs.
+func TestPartialShardBuildsOwnedRangeOnly(t *testing.T) {
+	wl := hintedCounters{counterWorkload{name: "counters", txPerCPU: 4, counters: 8, incrsPer: 2, think: 30}}
+	cfg := smallConfig(SchemePUNO, 7)
+	it := mem.NewInterner()
+	it.Grow(wl.FootprintLines(cfg.Nodes))
+	it.SetShared(true)
+
+	lo, hi := cfg.Nodes/2, cfg.Nodes
+	sh, err := NewShard(cfg, wl, lo, hi, it, func(*coherence.Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		owned := i >= lo && i < hi
+		if got := sh.nodes[i] != nil; got != owned {
+			t.Errorf("node %d built=%v, want %v", i, got, owned)
+		}
+		if got := sh.dirs[i] != nil; got != owned {
+			t.Errorf("directory %d built=%v, want %v", i, got, owned)
+		}
+	}
+	if sh.Active() != 0 {
+		t.Fatalf("fresh shard reports %d active nodes", sh.Active())
+	}
+	if err := sh.RunErr(); err != nil {
+		t.Fatalf("fresh shard reports error: %v", err)
+	}
+}

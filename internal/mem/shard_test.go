@@ -1,0 +1,110 @@
+package mem
+
+import "testing"
+
+func TestInternerSharedMode(t *testing.T) {
+	it := NewInterner()
+	it.Grow(4)
+	it.SetShared(true)
+
+	a := it.Intern(Line(0x100))
+	b := it.Intern(Line(0x200))
+	if a != 1 || b != 2 {
+		t.Fatalf("shared interning assigned (%d, %d), want (1, 2)", a, b)
+	}
+	if got := it.Intern(Line(0x100)); got != a {
+		t.Fatalf("re-interning returned %d, want %d", got, a)
+	}
+	if got := it.Lookup(Line(0x200)); got != b {
+		t.Fatalf("shared Lookup = %d, want %d", got, b)
+	}
+	if got := it.Lookup(Line(0x999)); got != 0 {
+		t.Fatalf("shared Lookup of unknown line = %d, want 0", got)
+	}
+	if got := it.Len(); got != 2 {
+		t.Fatalf("shared Len = %d, want 2", got)
+	}
+	if got := it.LineAt(a); got != Line(0x100) {
+		t.Fatalf("LineAt(%d) = %#x, want 0x100", a, uint64(got))
+	}
+
+	// Disarming re-enables the lock-free paths on the same assignments.
+	it.SetShared(false)
+	if got := it.Lookup(Line(0x100)); got != a {
+		t.Fatalf("Lookup after disarm = %d, want %d", got, a)
+	}
+	if got := it.Len(); got != 2 {
+		t.Fatalf("Len after disarm = %d, want 2", got)
+	}
+
+	// Re-arming reuses the existing mutex.
+	it.SetShared(true)
+	it.SetShared(true)
+	if got := it.Intern(Line(0x300)); got != 3 {
+		t.Fatalf("interning after re-arm = %d, want 3", got)
+	}
+}
+
+// A shared interner must never move its backing array (LineAt reads it
+// lock-free from other shards), so exceeding the Grow pre-size panics
+// instead of reallocating.
+func TestSharedInternerOverflowPanics(t *testing.T) {
+	it := NewInterner()
+	it.Grow(2)
+	it.SetShared(true)
+	it.Intern(Line(0x100))
+	it.Intern(Line(0x200))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("interning past the shared pre-size did not panic")
+		}
+	}()
+	it.Intern(Line(0x300))
+}
+
+// An unshared interner grows its backing array on demand, preserving
+// existing assignments.
+func TestInternerGrowsUnshared(t *testing.T) {
+	it := NewInterner()
+	for i := 0; i < 200; i++ {
+		if got := it.Intern(Line(uint64(i+1) * 0x40)); got != LineID(i+1) {
+			t.Fatalf("Intern #%d = %d, want %d", i, got, i+1)
+		}
+	}
+	if it.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", it.Len())
+	}
+	for i := 0; i < 200; i++ {
+		if got := it.LineAt(LineID(i + 1)); got != Line(uint64(i+1)*0x40) {
+			t.Fatalf("LineAt(%d) = %#x after growth", i+1, uint64(got))
+		}
+	}
+}
+
+// ResetOn rebinds a Backing to a different interner: the image empties and
+// new stores index under the new ID assignment.
+func TestBackingResetOn(t *testing.T) {
+	it1 := NewInterner()
+	b := NewBackingOn(it1)
+	addr := Line(0x100).Word(0)
+	b.StoreWord(addr, 7)
+	if got := b.LoadWord(addr); got != 7 {
+		t.Fatalf("LoadWord before rebind = %d, want 7", got)
+	}
+
+	it2 := NewInterner()
+	b.ResetOn(it2)
+	if got := b.LoadWord(addr); got != 0 {
+		t.Fatalf("LoadWord after ResetOn = %d, want 0 (image must be empty)", got)
+	}
+	if b.Touched() != 0 {
+		t.Fatalf("Touched after ResetOn = %d, want 0", b.Touched())
+	}
+	b.StoreWord(addr, 9)
+	if it2.Len() == 0 {
+		t.Fatal("store after rebind did not intern into the new interner")
+	}
+	if got := b.LoadWord(addr); got != 9 {
+		t.Fatalf("LoadWord after rebind = %d, want 9", got)
+	}
+}

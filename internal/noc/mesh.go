@@ -79,6 +79,19 @@ func (s Stats) TotalTraversals() uint64 {
 	return t
 }
 
+// Accumulate adds o's counters into s — merging one shard's local-traffic
+// statistics into the global mesh's routed-traffic statistics when a
+// sharded run folds its Result.
+func (s *Stats) Accumulate(o Stats) {
+	for c := range s.Messages {
+		s.Messages[c] += o.Messages[c]
+		s.Flits[c] += o.Flits[c]
+		s.RouterTraversal[c] += o.RouterTraversal[c]
+	}
+	s.TotalLatency += o.TotalLatency
+	s.QueueingDelay += o.QueueingDelay
+}
+
 // TotalMessages returns messages sent across all classes.
 func (s Stats) TotalMessages() uint64 {
 	var t uint64
@@ -275,10 +288,21 @@ func (m *Mesh) Send(src, dst int, class Class, flits int, payload any) {
 		m.eng.AfterEvent(m.cfg.LocalCycles, m, payload, uint64(dst))
 		return
 	}
+	t := m.route(now, src, dst, class, flits)
+	m.eng.AtEvent(t, m, payload, uint64(dst))
+}
 
-	// Walk the X-then-Y dimension-order route inline (same hop sequence
-	// Route returns, without materializing it), threading the head-flit
-	// arrival time through each router and link.
+// route walks the X-then-Y dimension-order path from src to dst (src != dst),
+// reserving each link for the message's flits and accumulating the routed
+// traffic statistics. It returns the head message's delivery time. Link
+// reservations mutate shared mesh state, so calls must happen in the
+// simulation's serial order.
+//
+//puno:hot
+func (m *Mesh) route(now sim.Time, src, dst int, class Class, flits int) sim.Time {
+	// Walk the route inline (same hop sequence Route returns, without
+	// materializing it), threading the head-flit arrival time through each
+	// router and link.
 	sx, sy := m.xy(src)
 	dx, dy := m.xy(dst)
 	t := now + m.cfg.RouterStages // source router pipeline
@@ -319,5 +343,35 @@ func (m *Mesh) Send(src, dst int, class Class, flits int, payload any) {
 	m.stats.RouterTraversal[class] += uint64(flits) * uint64(hops+1)
 	m.stats.TotalLatency += uint64(t - now)
 	m.stats.QueueingDelay += uint64(queueing)
-	m.eng.AtEvent(t, m, payload, uint64(dst))
+	return t
 }
+
+// ReserveRoute performs the accounting half of Send for a remote message
+// (src != dst) injected at cycle `now`, without scheduling a delivery: link
+// reservations, per-class message/flit counts, and latency statistics. It
+// returns the delivery time for the caller to schedule itself. The sharded
+// coordinator replays staged cross-shard sends through it in serial order
+// so link contention resolves exactly as in a serial run.
+//
+//puno:hot
+func (m *Mesh) ReserveRoute(now sim.Time, src, dst int, class Class, flits int) sim.Time {
+	if flits <= 0 {
+		panic("noc: message with no flits")
+	}
+	m.stats.Messages[class]++
+	m.stats.Flits[class] += uint64(flits)
+	return m.route(now, src, dst, class, flits)
+}
+
+// MinRemoteLatency returns the minimum end-to-end latency of any remote
+// (src != dst) message under c: one hop, one flit, no queueing — source
+// router pipeline, one link crossing, destination router pipeline. Queueing
+// and extra flits or hops only add to it, so it is a sound conservative
+// lookahead bound for windowed parallel simulation.
+func (c Config) MinRemoteLatency() sim.Time {
+	return 2*c.RouterStages + c.LinkCycles
+}
+
+// MinRemoteLatency returns the mesh's conservative remote-delivery bound;
+// see Config.MinRemoteLatency.
+func (m *Mesh) MinRemoteLatency() sim.Time { return m.cfg.MinRemoteLatency() }

@@ -1,0 +1,543 @@
+// Package pdes runs one simulated machine across several worker goroutines
+// — conservative parallel discrete-event simulation over the mesh — while
+// reproducing the serial run bit for bit.
+//
+// # Topology and lookahead
+//
+// The machine's nodes are split into contiguous ranges (horizontal mesh
+// regions: node ids are row-major, so a contiguous id range is a band of
+// rows). Each shard is an ordinary machine.Machine owning its range: local
+// controllers, a private event engine and two-level wheel, and a private
+// mesh instance that carries only node-local (src == dst) messages. Every
+// remote message instead crosses the one coordinator-owned global mesh,
+// whose link state all remote traffic contends on exactly as in a serial
+// run.
+//
+// Shards advance in bounded windows. With L = Mesh.MinRemoteLatency() — the
+// cheapest possible remote delivery: two router pipelines plus one link
+// crossing — a message sent at cycle t cannot arrive before t+L, so events
+// in [T, T+L) (T = the earliest pending event across shards) are closed
+// under cross-shard influence: nothing a shard does inside the window can
+// schedule work for another shard inside it. Each window, every shard with
+// an event in range executes its local events in parallel with the others;
+// staged remote sends are then routed and injected at the barrier. No
+// rollback is ever needed.
+//
+// # Bit-determinism: the (cycle, seq) merge
+//
+// The serial engine executes events in (time, sequence) order, and every
+// observable — results, event traces, RNG draws — inherits that order. The
+// coordinator reproduces it exactly:
+//
+//   - Events executed inside a window are recorded per shard as entries in
+//     local execution order, which is (time, seq) order for that shard's
+//     queue. A window commit k-way merges the shards' entry queues by
+//     (cycle, serial seq) and replays each entry's effects — event-sink
+//     emissions, and the sends/schedules it performed — in merged order.
+//
+//   - A schedule that happens during a window gets a provisional sequence
+//     (the shard engine's counter starts each run at 1<<62, above any
+//     serial seq). The commit replay assigns the true serial sequence:
+//     walking entries in serial order, every schedule and every remote
+//     send consumes the next global sequence number exactly as the serial
+//     engine would have, and the provisional event is rekeyed in place
+//     (Engine.Rekey) to its serial seq. A renumber table (provisional →
+//     serial) resolves provisional seqs still sitting in merge entries.
+//     A provisional entry's scheduling parent always executed earlier on
+//     the same shard (live schedules are shard-local), so its serial seq
+//     is known before the entry reaches its queue head — the merge never
+//     stalls.
+//
+//   - Remote sends are staged, not delivered: the commit replays them in
+//     serial order through Mesh.ReserveRoute on the global mesh (link
+//     contention resolves serially) and injects the delivery into the
+//     destination shard with the serial sequence number. The injection
+//     time t ≥ send + L ≥ the window end, so it never lands in a shard's
+//     already-executed past.
+//
+// Window execution is parallel but each shard touches only its own state;
+// the line interner is the one shared structure (mutex-guarded assignment,
+// lock-free LineAt over a pre-sized table — see mem.Interner.SetShared).
+// Raw LineIDs depend on cross-shard interleaving, so they never escape:
+// trace serialization renumbers them into emission order
+// (trace.EventTrace.Normalized), under which a sharded capture is
+// byte-identical to the serial one.
+package pdes
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/coherence"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/probe"
+	"repro/internal/sim"
+)
+
+// provSeqBase is where every shard engine's sequence counter starts after
+// node-start events are seeded: far above any serial sequence number, so a
+// provisional seq is recognizable and — because pre-window events sort
+// before same-cycle in-window schedules in the serial order too — sorts
+// correctly even before renumbering.
+const provSeqBase = uint64(1) << 62
+
+// op records one side effect of an executed event, in program order: a
+// schedule performed on the shard engine (msg nil: the event id and its
+// provisional seq) or a staged remote send (msg non-nil). One interleaved
+// list per shard, because the serial engine hands out sequence numbers to
+// schedules and send deliveries in exactly the order the handler makes
+// them.
+type op struct {
+	msg *coherence.Msg
+	id  sim.EventID
+	seq uint64
+}
+
+// entry is one executed event in a shard's window: when it ran, the seq it
+// ran under (serial, or provisional if scheduled this window), and its
+// slices of the shard's staged emissions and ops.
+type entry struct {
+	at             sim.Time
+	seq            uint64
+	emitLo, emitHi int32
+	opLo, opHi     int32
+}
+
+// shard is one worker's slice of the machine plus its window scratch.
+type shard struct {
+	m       *machine.Machine
+	eng     *sim.Engine
+	lo, hi  int
+	stage   probe.Buffer // window-local event-sink staging
+	entries []entry
+	ops     []op
+	renum   []uint64 // provisional seq - winBase → serial seq (0 = unset)
+	winBase uint64   // engine seq counter at window start
+	head    int      // commit cursor into entries
+	headAt  sim.Time // cached merge key of entries[head] (resolved)
+	headKey uint64
+	obs     func(id sim.EventID, at sim.Time, seq uint64)
+	xsend   func(*coherence.Msg)
+	work    chan sim.Time
+	done    chan struct{}
+}
+
+// Coordinator owns a sharded machine: the shard set, the global mesh, the
+// shared interner, and the window loop. Like machine.Machine it is a
+// reusable arena: Reset rebuilds it for a new (cfg, wl) retaining every
+// allocation, and a fresh and a reused coordinator run identically.
+type Coordinator struct {
+	cfg     machine.Config
+	wl      machine.Workload
+	it      *mem.Interner
+	mesh    *noc.Mesh // global link state; remote traffic and stats
+	meshEng *sim.Engine
+	sink    probe.Sink
+	shards  []*shard
+	owner   []int32 // node id → shard index
+	gseq    uint64
+
+	// Scratch reused across windows / runs.
+	parts   []*shard
+	results []*machine.Result
+}
+
+// Eligible reports whether cfg/wl can run under the coordinator. Ineligible
+// configurations (serial-only observables, schemes with cross-node shared
+// state, workloads whose footprint cannot be pre-sized, or a degenerate
+// zero-latency mesh that voids the lookahead bound) fall back to the serial
+// path; callers dispatch with this predicate so sharding is never
+// observable, only faster.
+func Eligible(cfg machine.Config, wl machine.Workload) bool {
+	if cfg.Shards <= 1 {
+		return false
+	}
+	if cfg.SampleInterval > 0 || cfg.TraceFn != nil {
+		return false
+	}
+	if cfg.Scheme == machine.SchemeATS {
+		return false
+	}
+	if cfg.Mesh.MinRemoteLatency() < 1 {
+		return false
+	}
+	if _, ok := wl.(machine.FootprintHinter); !ok {
+		return false
+	}
+	return true
+}
+
+// New builds a coordinator for cfg (whose Shards must be > 1 and Eligible
+// must accept) running wl.
+func New(cfg machine.Config, wl machine.Workload) (*Coordinator, error) {
+	c := &Coordinator{}
+	if err := c.Reset(cfg, wl); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Reset rebuilds the coordinator for (cfg, wl), reusing shard machines,
+// engines, meshes, and scratch — the sharded counterpart of Machine.Reset,
+// with the same guarantee: a reused coordinator is indistinguishable from a
+// fresh one. Reset may be called in any state, including after a failed or
+// hung run.
+func (c *Coordinator) Reset(cfg machine.Config, wl machine.Workload) error {
+	if !Eligible(cfg, wl) {
+		return fmt.Errorf("pdes: configuration is not shardable (Shards=%d, scheme=%v)", cfg.Shards, cfg.Scheme)
+	}
+	nsh := cfg.Shards
+	if nsh > cfg.Nodes {
+		nsh = cfg.Nodes
+	}
+	c.cfg, c.wl = cfg, wl
+	c.sink = cfg.EventSink
+	c.gseq = 0
+
+	if c.it == nil {
+		c.it = mem.NewInterner()
+	}
+	// Reset and pre-size serially, then arm for shared use: LineAt stays
+	// lock-free only because the table never grows past the footprint hint
+	// while shards run.
+	c.it.SetShared(false)
+	c.it.Reset()
+	c.it.Grow(wl.(machine.FootprintHinter).FootprintLines(cfg.Nodes))
+	c.it.SetShared(true)
+
+	if c.meshEng == nil {
+		c.meshEng = sim.NewEngine()
+	} else {
+		c.meshEng.Reset()
+	}
+	if c.mesh == nil {
+		c.mesh = noc.New(cfg.Mesh, c.meshEng)
+	} else {
+		c.mesh.Reset(cfg.Mesh, c.meshEng)
+	}
+
+	if len(c.shards) != nsh {
+		c.shards = make([]*shard, nsh)
+		for i := range c.shards {
+			sh := &shard{}
+			sh.obs = func(id sim.EventID, _ sim.Time, seq uint64) {
+				sh.ops = append(sh.ops, op{id: id, seq: seq})
+			}
+			sh.xsend = func(msg *coherence.Msg) {
+				sh.ops = append(sh.ops, op{msg: msg})
+			}
+			c.shards[i] = sh
+		}
+	}
+	if cap(c.owner) < cfg.Nodes {
+		c.owner = make([]int32, cfg.Nodes)
+	}
+	c.owner = c.owner[:cfg.Nodes]
+
+	scfg := cfg
+	for i, sh := range c.shards {
+		sh.lo, sh.hi = i*cfg.Nodes/nsh, (i+1)*cfg.Nodes/nsh
+		for n := sh.lo; n < sh.hi; n++ {
+			c.owner[n] = int32(i)
+		}
+		sh.stage.Reset()
+		sh.entries = sh.entries[:0]
+		sh.ops = sh.ops[:0]
+		sh.head = 0
+		sh.winBase = 0
+		if c.sink != nil {
+			scfg.EventSink = &sh.stage
+		} else {
+			scfg.EventSink = nil
+		}
+		if sh.m == nil {
+			m, err := machine.NewShard(scfg, wl, sh.lo, sh.hi, c.it, sh.xsend)
+			if err != nil {
+				return err
+			}
+			sh.m = m
+		} else if err := sh.m.ResetShard(scfg, wl, sh.lo, sh.hi, c.it, sh.xsend); err != nil {
+			return err
+		}
+		sh.eng = sh.m.Engine()
+	}
+	return nil
+}
+
+// LineTable returns the shared interner's lines in assignment order — the
+// sharded counterpart of Machine.LineTable. Assignment order here is a
+// cross-shard interleaving, so a trace built on this table must be
+// normalized before it is compared or saved.
+func (c *Coordinator) LineTable() []mem.Line {
+	out := make([]mem.Line, c.it.Len())
+	for i := range out {
+		out[i] = c.it.LineAt(mem.LineID(i + 1))
+	}
+	return out
+}
+
+// Run executes the workload to completion and returns the measurements —
+// the sharded Machine.Run. The merged Result and (normalized) event stream
+// are bit-identical to the serial run's for any shard count.
+func (c *Coordinator) Run() (*machine.Result, error) {
+	// Seed node starts with their serial sequence numbers (the serial start
+	// loop schedules node i's first fetch with seq i), then park each
+	// engine's counter in the provisional range.
+	for _, sh := range c.shards {
+		for i := sh.lo; i < sh.hi; i++ {
+			sh.eng.SetSeq(uint64(i))
+			sh.m.StartNode(i)
+		}
+		sh.eng.SetSeq(provSeqBase)
+	}
+	c.gseq = uint64(c.cfg.Nodes)
+
+	// Per-run workers: one goroutine per shard, handed one window at a
+	// time. The channel pair gives the race detector (and the memory
+	// model) the happens-before edges the barrier protocol relies on. The
+	// defer joins the workers, not just signals them: an aborted run (hang,
+	// handler error) must not leave a goroutine still touching shard state
+	// when the caller Resets and Runs again.
+	//
+	// On a single-P runtime the workers cannot actually overlap, so every
+	// window barrier would just be two scheduler round-trips per shard;
+	// run the participants inline instead. Window execution is shard-local
+	// and commit order is fixed by (cycle, seq), so which goroutine runs a
+	// window cannot affect the output.
+	inline := runtime.GOMAXPROCS(0) == 1
+	var workers sync.WaitGroup
+	if !inline {
+		for _, sh := range c.shards {
+			sh.work = make(chan sim.Time, 1)
+			sh.done = make(chan struct{}, 1)
+			workers.Add(1)
+			go func(sh *shard) {
+				defer workers.Done()
+				for wend := range sh.work {
+					runWindow(sh, wend)
+					sh.done <- struct{}{}
+				}
+			}(sh)
+		}
+		defer func() {
+			for _, sh := range c.shards {
+				close(sh.work)
+			}
+			workers.Wait()
+		}()
+	}
+
+	lookahead := c.mesh.MinRemoteLatency()
+	maxC := c.cfg.MaxCycles
+	hung := false
+	for {
+		t := sim.Infinity
+		for _, sh := range c.shards {
+			if at, _, ok := sh.eng.Peek(); ok && at < t {
+				t = at
+			}
+		}
+		if t == sim.Infinity {
+			break // every queue drained
+		}
+		if t > maxC {
+			hung = true // mirrors Engine.Run stopping at its limit
+			break
+		}
+		wend := t + lookahead
+		if wend > maxC+1 {
+			wend = maxC + 1
+		}
+		parts := c.parts[:0]
+		for _, sh := range c.shards {
+			if at, _, ok := sh.eng.Peek(); ok && at < wend {
+				parts = append(parts, sh)
+			}
+		}
+		c.parts = parts
+		if inline {
+			for _, sh := range parts {
+				runWindow(sh, wend)
+			}
+		} else {
+			// Run the first participant inline; the rest on their workers.
+			for _, sh := range parts[1:] {
+				sh.work <- wend
+			}
+			runWindow(parts[0], wend)
+			for _, sh := range parts[1:] {
+				<-sh.done
+			}
+		}
+		// A handler failure surfaces in shard order — window execution is
+		// deterministic per shard, so the chosen error is too.
+		for _, sh := range c.shards {
+			if err := sh.m.RunErr(); err != nil {
+				return nil, err
+			}
+		}
+		c.commit(parts)
+	}
+
+	active := 0
+	for _, sh := range c.shards {
+		active += sh.m.Active()
+	}
+	if hung {
+		if active > 0 {
+			return nil, machine.ErrHung
+		}
+		// Threads all finished; whatever trails beyond MaxCycles is never
+		// executed — exactly what the serial drain pass does at its limit.
+	} else if active > 0 {
+		return nil, fmt.Errorf("machine: %d threads stalled with an empty event queue (protocol deadlock)", active)
+	}
+
+	c.results = c.results[:0]
+	for _, sh := range c.shards {
+		c.results = append(c.results, sh.m.FinalizeShard())
+	}
+	return machine.MergeShardResults(c.wl.Name(), c.cfg.Scheme, c.cfg.Nodes, c.results, c.mesh.Stats()), nil
+}
+
+// runWindow executes one shard's events in [now, wend), recording an entry
+// per event with its staged emissions and ops. Runs on the shard's worker
+// goroutine; touches only shard-local state (plus the shared interner
+// through the machine's handlers).
+//
+//puno:hot
+func runWindow(sh *shard, wend sim.Time) {
+	sh.entries = sh.entries[:0]
+	sh.ops = sh.ops[:0]
+	sh.head = 0
+	sh.stage.Reset()
+	sh.winBase = sh.eng.Seq()
+	sh.eng.SetScheduleObserver(sh.obs)
+	for {
+		at, seq, ok := sh.eng.Peek()
+		if !ok || at >= wend {
+			break
+		}
+		e := entry{at: at, seq: seq, emitLo: int32(sh.stage.Len()), opLo: int32(len(sh.ops))}
+		sh.eng.Step()
+		e.emitHi = int32(sh.stage.Len())
+		e.opHi = int32(len(sh.ops))
+		sh.entries = append(sh.entries, e)
+	}
+	// The commit's InjectDeliver calls must not be recorded as ops.
+	sh.eng.SetScheduleObserver(nil)
+}
+
+// commit merges the participants' window entries by (cycle, serial seq) and
+// replays each in serial order. Single-threaded, after the window barrier.
+//
+// Each shard's next merge key is resolved once, when the entry reaches the
+// shard's head (resolveHead), and cached — by then its scheduling parent
+// (always an earlier entry of the same shard; schedules are shard-local)
+// has been replayed, so the resolution is final and the scan loop is pure
+// comparisons. Once a single shard remains its tail replays in entry
+// order, no comparisons at all.
+//
+//puno:hot
+func (c *Coordinator) commit(parts []*shard) {
+	live := 0
+	for _, sh := range parts {
+		c.sizeRenum(sh)
+		if c.resolveHead(sh) {
+			live++
+		}
+	}
+	for live > 1 {
+		var best *shard
+		for _, sh := range parts {
+			if sh.head >= len(sh.entries) {
+				continue
+			}
+			if best == nil || sh.headAt < best.headAt ||
+				(sh.headAt == best.headAt && sh.headKey < best.headKey) {
+				best = sh
+			}
+		}
+		e := &best.entries[best.head]
+		best.head++
+		c.replay(best, e)
+		if !c.resolveHead(best) {
+			live--
+		}
+	}
+	for _, sh := range parts {
+		for sh.head < len(sh.entries) {
+			e := &sh.entries[sh.head]
+			sh.head++
+			c.replay(sh, e)
+		}
+	}
+}
+
+// resolveHead caches sh's next merge key and reports whether entries
+// remain. A provisional seq at the head is always resolvable: its parent
+// committed earlier on the same shard and wrote the renum slot.
+//
+//puno:hot
+func (c *Coordinator) resolveHead(sh *shard) bool {
+	if sh.head >= len(sh.entries) {
+		return false
+	}
+	e := &sh.entries[sh.head]
+	key := e.seq
+	if key >= provSeqBase {
+		key = sh.renum[key-sh.winBase]
+		if key == 0 {
+			panic("pdes: provisional seq unresolved at merge head")
+		}
+	}
+	sh.headAt, sh.headKey = e.at, key
+	return true
+}
+
+// sizeRenum sizes and clears sh's provisional→serial table for the window
+// just executed (kept out of the hot merge path: it may allocate on first
+// growth).
+func (c *Coordinator) sizeRenum(sh *shard) {
+	n := int(sh.eng.Seq() - sh.winBase)
+	if cap(sh.renum) < n {
+		sh.renum = make([]uint64, n)
+		return
+	}
+	sh.renum = sh.renum[:n]
+	clear(sh.renum)
+}
+
+// replay applies one committed entry: forward its staged emissions to the
+// run's real sink, then walk its ops in program order, handing each the
+// next global sequence number exactly as the serial engine would — rekeying
+// live schedules, and routing + injecting staged remote sends over the
+// global mesh.
+//
+//puno:hot
+func (c *Coordinator) replay(sh *shard, e *entry) {
+	if c.sink != nil {
+		evs := sh.stage.Events()
+		for _, ev := range evs[e.emitLo:e.emitHi] {
+			c.sink.Emit(ev)
+		}
+	}
+	for i := e.opLo; i < e.opHi; i++ {
+		o := &sh.ops[i]
+		if o.msg == nil {
+			sh.eng.Rekey(o.id, c.gseq)
+			sh.renum[o.seq-sh.winBase] = c.gseq
+		} else {
+			at := c.mesh.ReserveRoute(e.at, o.msg.Src, o.msg.Dst, o.msg.Class(), o.msg.Flits())
+			d := c.shards[c.owner[o.msg.Dst]]
+			save := d.eng.Seq()
+			d.eng.SetSeq(c.gseq)
+			d.m.InjectDeliver(at, o.msg)
+			d.eng.SetSeq(save)
+		}
+		c.gseq++
+	}
+}

@@ -1,0 +1,57 @@
+package pdes
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/stamp"
+)
+
+func testWL(t *testing.T, name string, txper int) machine.Workload {
+	t.Helper()
+	wl, err := stamp.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl.WithTxPerCPU(txper)
+}
+
+// Sharded results must be value-identical to serial results, for any shard
+// count. (Byte-identity of dumps and traces is certified by the root
+// package's determinism suite; this is the fast inner check.)
+func TestShardedMatchesSerialResult(t *testing.T) {
+	for _, name := range []string{"kmeans", "intruder"} {
+		for _, sch := range []machine.Scheme{machine.SchemeBaseline, machine.SchemeBackoff, machine.SchemePUNO} {
+			wl := testWL(t, name, 4)
+			cfg := machine.DefaultConfig()
+			cfg.Scheme = sch
+			cfg.Seed = 42
+
+			m, err := machine.New(cfg, wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := m.Run()
+			if err != nil {
+				t.Fatalf("%s/%v serial: %v", name, sch, err)
+			}
+
+			for _, shards := range []int{2, 4} {
+				scfg := cfg
+				scfg.Shards = shards
+				co, err := New(scfg, wl)
+				if err != nil {
+					t.Fatalf("%s/%v shards=%d: %v", name, sch, shards, err)
+				}
+				got, err := co.Run()
+				if err != nil {
+					t.Fatalf("%s/%v shards=%d: %v", name, sch, shards, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%v shards=%d: result differs\n got: %+v\nwant: %+v", name, sch, shards, got, want)
+				}
+			}
+		}
+	}
+}

@@ -150,7 +150,7 @@ func UnpackSend(arg uint64) (msgType uint8, dst, requester int, reqID uint64) {
 // KindTxAbort, KindConflict). overflow is only meaningful for KindTxAbort;
 // isWrite only for KindConflict — they share a flag bit.
 func PackTx(staticID, attempt int, flag bool) uint64 {
-	v := uint64(uint32(staticID)) | uint64(uint32(attempt))<<32 &^ (1 << 63)
+	v := uint64(uint32(staticID)) | uint64(uint32(attempt))<<32&^(1<<63)
 	if flag {
 		v |= 1 << 63
 	}

@@ -20,9 +20,19 @@ import (
 // Options configures one Map call.
 type Options struct {
 	// Workers is the number of concurrent goroutines. Zero or negative
-	// selects runtime.GOMAXPROCS(0). One runs every task inline on the
-	// calling goroutine, in index order — the exact serial semantics.
+	// selects runtime.GOMAXPROCS(0), divided by TaskThreads when tasks are
+	// themselves parallel. One runs every task inline on the calling
+	// goroutine, in index order — the exact serial semantics.
 	Workers int
+
+	// TaskThreads is how many goroutines one task occupies while it runs
+	// (1 for an ordinary serial task). A sharded simulation run, for
+	// example, spawns Config.Shards workers of its own, so a pool of
+	// GOMAXPROCS such tasks would oversubscribe the host by that factor.
+	// TaskThreads only influences the automatic pool size: when Workers
+	// <= 0 the pool is GOMAXPROCS/TaskThreads (at least 1). An explicit
+	// Workers count is always respected unchanged. Values < 1 mean 1.
+	TaskThreads int
 
 	// Progress, when non-nil, is called after each task finishes with the
 	// number of completed tasks and the total. Calls are serialized, but
@@ -82,6 +92,12 @@ func MapWorkers[S, T any](ctx context.Context, n int, opts Options, newState fun
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+		if opts.TaskThreads > 1 {
+			workers /= opts.TaskThreads
+			if workers < 1 {
+				workers = 1
+			}
+		}
 	}
 	if workers > n {
 		workers = n

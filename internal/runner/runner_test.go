@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
@@ -318,5 +319,43 @@ func TestMapNoLabelsWithoutLabelFunc(t *testing.T) {
 		})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMapTaskThreadsShrinksAutoPool: when tasks are themselves parallel
+// (TaskThreads > 1), the auto-sized pool divides GOMAXPROCS by that factor
+// so total goroutine concurrency stays bounded. newState runs once per pool
+// goroutine, so the number of distinct states observed is the pool size.
+func TestMapTaskThreadsShrinksAutoPool(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		workers, threads, want int
+	}{
+		{0, procs, 1},     // auto: pool collapses to serial
+		{0, procs * 8, 1}, // auto: never below one worker
+		{3, 100, 3},       // explicit Workers wins unchanged
+		{0, 1, procs},     // threads=1 leaves auto-sizing alone
+		{0, 0, procs},     // zero means one thread
+	}
+	for _, c := range cases {
+		var states int32
+		_, err := MapWorkers(context.Background(), 4*procs,
+			Options{Workers: c.workers, TaskThreads: c.threads},
+			func(int) int { return int(atomic.AddInt32(&states, 1)) },
+			func(_ context.Context, i int, _ int) (int, error) {
+				time.Sleep(time.Millisecond) // hold the slot so every worker takes work
+				return i, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := c.want
+		if want > 4*procs {
+			want = 4 * procs
+		}
+		if got := int(atomic.LoadInt32(&states)); got != want {
+			t.Errorf("Workers=%d TaskThreads=%d: %d pool states, want %d",
+				c.workers, c.threads, got, want)
+		}
 	}
 }

@@ -117,6 +117,12 @@ type Engine struct {
 	// Overflow level: 4-ary heap of slab indices, ordered by (at, seq),
 	// holding events scheduled at or beyond the wheel horizon.
 	heap []int32
+
+	// onSchedule, when set, observes every schedule call with the new
+	// event's identity and (at, seq) key. The sharded coordinator installs
+	// it during a shard's window execution to record which events were
+	// scheduled with provisional seqs; it is nil in every serial run.
+	onSchedule func(id EventID, at Time, seq uint64)
 }
 
 // NewEngine returns an engine with the clock at cycle 0 and the default
@@ -184,6 +190,72 @@ func (e *Engine) Reset() {
 	e.seq = 0
 	e.nRun = 0
 	e.stopped = false
+	e.onSchedule = nil
+}
+
+// Seq returns the insertion sequence number the next scheduled event will
+// receive. Together with SetSeq it lets the sharded coordinator bracket a
+// replayed schedule so cross-shard event ordering matches the serial run.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// SetSeq overrides the next insertion sequence number. Chains and the heap
+// stay correctly ordered even when the override moves seq backwards:
+// schedule and Rekey insert out-of-order seqs by position (chainInsert),
+// not by blind append.
+func (e *Engine) SetSeq(seq uint64) { e.seq = seq }
+
+// SetScheduleObserver installs (or, with nil, removes) a callback invoked
+// after every successful schedule with the new event's id and (at, seq)
+// key. The observer must not schedule or cancel events.
+func (e *Engine) SetScheduleObserver(fn func(id EventID, at Time, seq uint64)) {
+	e.onSchedule = fn
+}
+
+// Peek returns the (at, seq) key of the event Step would run next, without
+// popping it. ok is false when nothing is pending or the engine is stopped.
+func (e *Engine) Peek() (at Time, seq uint64, ok bool) {
+	if e.stopped {
+		return 0, 0, false
+	}
+	idx := e.nextEvent()
+	if idx < 0 {
+		return 0, 0, false
+	}
+	s := &e.slots[idx]
+	return s.at, s.seq, true
+}
+
+// Rekey reassigns the insertion sequence number of a still-pending event,
+// keeping its firing time. The sharded commit path uses it to replace a
+// provisional seq with the serial run's global one. Rekeying an event that
+// already fired or was cancelled is a no-op and returns false — the caller
+// still burned the serial seq either way.
+func (e *Engine) Rekey(id EventID, seq uint64) bool {
+	if id.slot == 0 {
+		return false
+	}
+	idx := id.slot - 1
+	if int(idx) >= len(e.slots) {
+		return false
+	}
+	s := &e.slots[idx]
+	if s.gen != id.gen || s.loc == locFree {
+		return false
+	}
+	if s.seq == seq {
+		return true
+	}
+	switch s.loc {
+	case locWheel:
+		e.unchain(idx)
+		s.seq = seq
+		e.chainInsert(idx)
+	case locHeap:
+		s.seq = seq
+		e.siftUp(int(s.pos))
+		e.siftDown(int(s.pos))
+	}
+	return true
 }
 
 // schedule grabs a slot, fills it, and queues it on the wheel (near
@@ -211,27 +283,53 @@ func (e *Engine) schedule(t Time, fn Event, h Handler, arg any, word uint64) Eve
 	s.word = word
 	e.seq++
 	if t-e.now < e.window {
-		// Near horizon: append to the bucket for t. seq is globally
-		// monotonic and the bucket holds a single absolute time, so the
-		// chain stays seq-sorted without any comparison.
 		s.loc = locWheel
-		s.next = -1
-		b := &e.buckets[uint64(t)&e.mask]
-		if b.head < 0 {
-			b.head = idx
-			e.occ[(uint64(t)&e.mask)>>6] |= 1 << (uint64(t) & 63)
-		} else {
-			e.slots[b.tail].next = idx
-		}
-		b.tail = idx
-		e.nWheel++
+		e.chainInsert(idx)
 	} else {
 		s.loc = locHeap
 		s.pos = int32(len(e.heap))
 		e.heap = append(e.heap, idx)
 		e.siftUp(int(s.pos))
 	}
-	return EventID{slot: idx + 1, gen: s.gen}
+	id := EventID{slot: idx + 1, gen: s.gen}
+	if e.onSchedule != nil {
+		e.onSchedule(id, t, s.seq)
+	}
+	return id
+}
+
+// chainInsert links a filled slot into its time bucket, keeping the chain
+// seq-sorted. seq is monotonic in any serial run, so the tail comparison
+// passes and insertion is the classic O(1) append; the positional walk only
+// runs when SetSeq has moved seq backwards (sharded commit replay), where
+// bucket chains hold the handful of events of one exact cycle.
+//
+//puno:hot
+func (e *Engine) chainInsert(idx int32) {
+	s := &e.slots[idx]
+	bi := uint64(s.at) & e.mask
+	b := &e.buckets[bi]
+	switch {
+	case b.head < 0:
+		s.next = -1
+		b.head, b.tail = idx, idx
+		e.occ[bi>>6] |= 1 << (bi & 63)
+	case e.slots[b.tail].seq <= s.seq:
+		s.next = -1
+		e.slots[b.tail].next = idx
+		b.tail = idx
+	case s.seq < e.slots[b.head].seq:
+		s.next = b.head
+		b.head = idx
+	default:
+		prev := b.head
+		for e.slots[prev].next >= 0 && e.slots[e.slots[prev].next].seq <= s.seq {
+			prev = e.slots[prev].next
+		}
+		s.next = e.slots[prev].next
+		e.slots[prev].next = idx
+	}
+	e.nWheel++
 }
 
 // At schedules fn to run at absolute cycle t. Scheduling in the past (t <

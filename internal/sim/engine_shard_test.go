@@ -1,0 +1,159 @@
+package sim
+
+import "testing"
+
+// wordRecorder is a minimal Handler that records the payload words it runs.
+type wordRecorder struct{ fired []uint64 }
+
+func (h *wordRecorder) OnEvent(arg any, word uint64) { h.fired = append(h.fired, word) }
+
+func TestPeekSeqStep(t *testing.T) {
+	e := NewEngine()
+	h := &wordRecorder{}
+	if _, _, ok := e.Peek(); ok {
+		t.Fatal("Peek on an empty engine reported an event")
+	}
+	if got := e.Seq(); got != 0 {
+		t.Fatalf("fresh engine Seq() = %d, want 0", got)
+	}
+	e.AtEvent(10, h, nil, 1) // seq 0
+	e.AtEvent(5, h, nil, 2)  // seq 1
+	if got := e.Seq(); got != 2 {
+		t.Fatalf("Seq() after two schedules = %d, want 2", got)
+	}
+	at, seq, ok := e.Peek()
+	if !ok || at != 5 || seq != 1 {
+		t.Fatalf("Peek = (%d, %d, %v), want (5, 1, true)", at, seq, ok)
+	}
+	// Peek must not pop.
+	if at2, seq2, ok2 := e.Peek(); !ok2 || at2 != at || seq2 != seq {
+		t.Fatalf("second Peek = (%d, %d, %v), want same (%d, %d, true)", at2, seq2, ok2, at, seq)
+	}
+	if !e.Step() {
+		t.Fatal("Step with pending events returned false")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock after first Step = %d, want 5", e.Now())
+	}
+	if at, seq, ok = e.Peek(); !ok || at != 10 || seq != 0 {
+		t.Fatalf("Peek after Step = (%d, %d, %v), want (10, 0, true)", at, seq, ok)
+	}
+	if !e.Step() {
+		t.Fatal("Step with one pending event returned false")
+	}
+	if e.Step() {
+		t.Fatal("Step on a drained engine returned true")
+	}
+	if want := []uint64{2, 1}; len(h.fired) != 2 || h.fired[0] != want[0] || h.fired[1] != want[1] {
+		t.Fatalf("fired order %v, want %v", h.fired, want)
+	}
+	e.AtEvent(20, h, nil, 3)
+	e.Stop()
+	if _, _, ok := e.Peek(); ok {
+		t.Fatal("Peek on a stopped engine reported an event")
+	}
+	if e.Step() {
+		t.Fatal("Step on a stopped engine returned true")
+	}
+}
+
+// TestSetSeqOrdersSameCycleChain drives every chainInsert branch: fresh
+// bucket, in-order tail append, head insertion, and the positional walk a
+// backwards SetSeq (the sharded commit replay) requires.
+func TestSetSeqOrdersSameCycleChain(t *testing.T) {
+	e := NewEngine()
+	h := &wordRecorder{}
+	e.SetSeq(10)
+	e.AtEvent(7, h, nil, 10) // seq 10: fresh bucket
+	e.AtEvent(7, h, nil, 11) // seq 11: tail append
+	e.SetSeq(1)
+	e.AtEvent(7, h, nil, 1) // seq 1: insert at head
+	e.SetSeq(5)
+	e.AtEvent(7, h, nil, 5) // seq 5: positional walk into the middle
+	e.Run(Infinity)
+	want := []uint64{1, 5, 10, 11}
+	if len(h.fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(h.fired), len(want))
+	}
+	for i := range want {
+		if h.fired[i] != want[i] {
+			t.Fatalf("fired order %v, want %v (SetSeq did not reorder the chain)", h.fired, want)
+		}
+	}
+}
+
+func TestRekeyWheel(t *testing.T) {
+	e := NewEngine()
+	h := &wordRecorder{}
+	a := e.AtEvent(7, h, nil, 1) // seq 0
+	b := e.AtEvent(7, h, nil, 2) // seq 1
+	if !e.Rekey(a, 10) {
+		t.Fatal("Rekey of a live wheel event failed")
+	}
+	if !e.Rekey(b, 1) {
+		t.Fatal("Rekey to the event's current seq should be a true no-op")
+	}
+	if e.Rekey(EventID{}, 3) {
+		t.Fatal("Rekey of the zero EventID succeeded")
+	}
+	if e.Rekey(EventID{slot: 1 << 20, gen: 1}, 3) {
+		t.Fatal("Rekey of an out-of-range slot succeeded")
+	}
+	e.Run(Infinity)
+	if want := []uint64{2, 1}; len(h.fired) != 2 || h.fired[0] != want[0] || h.fired[1] != want[1] {
+		t.Fatalf("fired order %v, want %v (Rekey did not reorder)", h.fired, want)
+	}
+	if e.Rekey(a, 20) {
+		t.Fatal("Rekey of an already-fired event succeeded")
+	}
+}
+
+func TestRekeyHeap(t *testing.T) {
+	// The smallest wheel window forces far-future events onto the overflow
+	// heap.
+	e := NewEngineWindow(64)
+	h := &wordRecorder{}
+	a := e.AtEvent(1000, h, nil, 1) // seq 0, heap
+	b := e.AtEvent(1000, h, nil, 2) // seq 1, heap
+	if !e.Rekey(a, 10) {
+		t.Fatal("Rekey of a live heap event failed")
+	}
+	if !e.Rekey(b, 3) {
+		t.Fatal("Rekey of a live heap event failed")
+	}
+	e.Run(Infinity)
+	if want := []uint64{2, 1}; len(h.fired) != 2 || h.fired[0] != want[0] || h.fired[1] != want[1] {
+		t.Fatalf("fired order %v, want %v (heap Rekey did not reorder)", h.fired, want)
+	}
+}
+
+func TestScheduleObserver(t *testing.T) {
+	e := NewEngine()
+	h := &wordRecorder{}
+	type obs struct {
+		id  EventID
+		at  Time
+		seq uint64
+	}
+	var got []obs
+	e.SetScheduleObserver(func(id EventID, at Time, seq uint64) {
+		got = append(got, obs{id, at, seq})
+	})
+	id := e.AtEvent(3, h, nil, 1)
+	if len(got) != 1 || got[0].id != id || got[0].at != 3 || got[0].seq != 0 {
+		t.Fatalf("observer saw %+v, want [{%+v 3 0}]", got, id)
+	}
+	e.SetScheduleObserver(nil)
+	e.AtEvent(4, h, nil, 2)
+	if len(got) != 1 {
+		t.Fatal("removed observer still fired")
+	}
+	e.SetScheduleObserver(func(id EventID, at Time, seq uint64) {
+		got = append(got, obs{id, at, seq})
+	})
+	e.Reset()
+	e.AtEvent(5, h, nil, 3)
+	if len(got) != 1 {
+		t.Fatal("Reset did not clear the schedule observer")
+	}
+}

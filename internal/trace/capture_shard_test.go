@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// A sharded capture must be indistinguishable from a serial one: same
+// Result, same event stream, and byte-identical serialized trace (the
+// sharded path normalizes LineIDs into first-appearance order, which is
+// the serial assignment already).
+func TestCaptureEventsShardedMatchesSerial(t *testing.T) {
+	wl := testWL(t)
+	cfg := testCfg(machine.SchemePUNO)
+
+	resSerial, etSerial, err := CaptureEvents(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serialBytes bytes.Buffer
+	if err := etSerial.Save(&serialBytes); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Shards = 2
+	resSharded, etSharded, err := CaptureEvents(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resSerial, resSharded) {
+		t.Fatalf("sharded capture changed the Result:\nserial:  %+v\nsharded: %+v", resSerial, resSharded)
+	}
+	if d, ok := FirstDivergence(etSerial, etSharded); ok {
+		t.Fatal(FormatDivergence(etSerial, etSharded, d))
+	}
+	var shardedBytes bytes.Buffer
+	if err := etSharded.Save(&shardedBytes); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialBytes.Bytes(), shardedBytes.Bytes()) {
+		t.Fatal("sharded capture serialized to different bytes than serial")
+	}
+}
+
+func TestCaptureEventsErrors(t *testing.T) {
+	wl := testWL(t)
+
+	bad := testCfg(machine.SchemePUNO)
+	bad.Nodes = 15 // does not match the 4x4 mesh
+	bad.Shards = 2
+	if _, _, err := CaptureEvents(bad, wl); err == nil {
+		t.Fatal("sharded capture of an invalid config did not error")
+	}
+	bad.Shards = 0
+	if _, _, err := CaptureEvents(bad, wl); err == nil {
+		t.Fatal("serial capture of an invalid config did not error")
+	}
+
+	hung := testCfg(machine.SchemePUNO)
+	hung.MaxCycles = 10
+	hung.Shards = 2
+	if _, _, err := CaptureEvents(hung, wl); err == nil {
+		t.Fatal("sharded capture of a hung run did not error")
+	}
+	hung.Shards = 0
+	if _, _, err := CaptureEvents(hung, wl); err == nil {
+		t.Fatal("serial capture of a hung run did not error")
+	}
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/probe"
+	"repro/internal/stamp"
+)
+
+// A serial run interns lines in emission order, so Normalized must be the
+// identity on a serial capture. This is the invariant that lets a sharded
+// run's normalized trace byte-match the serial golden: the sharded event
+// stream is serial-identical, and normalization erases the only divergent
+// residue (raw shared-interner IDs).
+func TestNormalizedIsIdentityOnSerialCapture(t *testing.T) {
+	for _, name := range []string{"kmeans", "intruder"} {
+		for _, sch := range []machine.Scheme{machine.SchemeBaseline, machine.SchemePUNO} {
+			w, err := stamp.ByName(name)
+			if err != nil {
+				t.Fatalf("workload %s: %v", name, err)
+			}
+			cfg := machine.DefaultConfig()
+			cfg.Scheme = sch
+			_, et, err := CaptureEvents(cfg, w.WithTxPerCPU(4))
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, sch, err)
+			}
+			norm := et.Normalized()
+			if !reflect.DeepEqual(norm.Lines, et.Lines) {
+				t.Errorf("%s/%v: line table changed: %d raw vs %d normalized",
+					name, sch, len(et.Lines), len(norm.Lines))
+				continue
+			}
+			if !reflect.DeepEqual(norm.Events, et.Events) {
+				t.Errorf("%s/%v: events changed under normalization", name, sch)
+			}
+		}
+	}
+}
+
+// Normalized renumbers by first appearance and prunes unreferenced lines.
+func TestNormalizedRenumbersByAppearance(t *testing.T) {
+	raw := &EventTrace{
+		Workload: "w", Scheme: "s", Seed: 7,
+		Lines: []mem.Line{0x1000, 0x2000, 0x3000, 0x4000},
+		Events: []probe.Event{
+			{Cycle: 1, Kind: probe.KindSend, Node: 0, Line: 3},
+			{Cycle: 2, Kind: probe.KindSend, Node: 1, Line: 1},
+			{Cycle: 3, Kind: probe.KindTxBegin, Node: 1, Line: 0},
+			{Cycle: 4, Kind: probe.KindSend, Node: 2, Line: 3},
+		},
+	}
+	n := raw.Normalized()
+	wantLines := []mem.Line{0x3000, 0x1000} // appearance order; 0x2000/0x4000 pruned
+	if !reflect.DeepEqual(n.Lines, wantLines) {
+		t.Fatalf("lines = %v, want %v", n.Lines, wantLines)
+	}
+	wantIDs := []mem.LineID{1, 2, 0, 1}
+	for i, e := range n.Events {
+		if e.Line != wantIDs[i] {
+			t.Errorf("event %d line = %d, want %d", i, e.Line, wantIDs[i])
+		}
+	}
+	// The input trace is untouched.
+	if raw.Events[0].Line != 3 || len(raw.Lines) != 4 {
+		t.Fatalf("input trace mutated: %+v", raw)
+	}
+}

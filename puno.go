@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/pdes"
 	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/stamp"
@@ -132,8 +133,18 @@ func Schemes() []Scheme { return machine.Schemes() }
 // callers that want to preload memory or inspect state mid-run).
 func NewMachine(cfg Config, wl Workload) (*Machine, error) { return machine.New(cfg, wl) }
 
-// Run builds and runs a machine to completion.
+// Run builds and runs a machine to completion. When cfg.Shards > 1 and the
+// configuration is shardable, the run executes under the conservative PDES
+// coordinator (internal/pdes) — several worker goroutines, bit-identical
+// results; otherwise it falls back to the serial path.
 func Run(cfg Config, wl Workload) (*Result, error) {
+	if pdes.Eligible(cfg, wl) {
+		co, err := pdes.New(cfg, wl)
+		if err != nil {
+			return nil, err
+		}
+		return co.Run()
+	}
 	m, err := machine.New(cfg, wl)
 	if err != nil {
 		return nil, err
