@@ -2,7 +2,7 @@ GO ?= go
 BENCH ?= BenchmarkSweepParallelism
 BENCH_COUNT ?= 8
 
-.PHONY: all test lint race race-shards cover cover-update bench bench-baseline bench-compare bench-snapshot bench-snapshot-pdes golden clean
+.PHONY: all test lint race race-shards cover cover-update bench bench-pdes bench-baseline bench-compare bench-snapshot bench-snapshot-pdes golden clean
 
 all: test
 
@@ -28,6 +28,10 @@ race:
 # subset so CI keeps it even if the full race matrix is ever trimmed.
 race-shards:
 	$(GO) test -race -run 'Sharded' . ./internal/pdes
+	# The coalesced-window path defers the commit barrier across send-free
+	# windows; run it under the detector on its own so a -run reshuffle
+	# above can't silently drop the one test that certifies the deferral.
+	$(GO) test -race -run 'ShardedCoalescedWindows' -count 2 ./internal/pdes
 
 # Per-package coverage audit: measure `go test -cover` for every internal
 # package and gate it against the committed floors in COVERAGE.json. Any
@@ -48,6 +52,15 @@ cover-update:
 # is BenchmarkSweepParallelism).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# The single-machine PDES pair (big-serial vs big-sharded) with allocation
+# stats: the quick check that the sharded coordinator's wall-clock ratio
+# and allocs/op haven't regressed. CI runs this in the bench smoke job;
+# PDES_BENCHTIME keeps it a sub-second smoke there (raise for real
+# measurements, or use bench-snapshot-pdes to record the committed pair).
+PDES_BENCHTIME ?= 10x
+bench-pdes:
+	$(GO) test -run '^$$' -bench '$(BENCH)/big-' -benchmem -benchtime $(PDES_BENCHTIME) -count 1 .
 
 # Record the current hot-path performance as the comparison baseline.
 # Run this on the commit you want to compare against, then make your

@@ -18,6 +18,7 @@ import (
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/pdes"
 	"repro/internal/sim"
 )
 
@@ -323,22 +324,66 @@ func BenchmarkSweepParallelism(b *testing.B) {
 		cfg.Shards = shards
 		return cfg
 	}
-	for _, bc := range []struct {
-		name   string
-		shards int
-	}{
-		{"big-serial", 1},
-		{"big-sharded", 4},
-	} {
-		b.Run(bc.name, func(b *testing.B) {
-			cfg := bigCfg(bc.shards)
-			for i := 0; i < b.N; i++ {
-				if _, err := Run(cfg, bigWL); err != nil {
-					b.Fatal(err)
-				}
+	// Both sides run the documented arena-reuse pattern (construct once,
+	// Reset+Run per iteration) so the pair isolates steady-state simulation
+	// and coordination cost rather than allocator traffic; the one-shot
+	// Run() construction path is covered by the sweep benches above.
+	b.Run("big-serial", func(b *testing.B) {
+		cfg := bigCfg(1)
+		m, err := NewMachine(cfg, bigWL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Reset(cfg, bigWL); err != nil {
+				b.Fatal(err)
 			}
-		})
-	}
+			if _, err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("big-sharded", func(b *testing.B) {
+		cfg := bigCfg(4)
+		co, err := pdes.New(cfg, bigWL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := co.Reset(cfg, bigWL); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := co.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// big256-sharded scales the sharded leg to 256 nodes on a 16x16 mesh —
+	// the configuration the multi-word directory sharer sets unlock. It has
+	// no serial twin in the committed pair; it exists to catch coordination
+	// costs that only appear when the window population and the per-commit
+	// O(shards) scans quadruple.
+	b.Run("big256-sharded", func(b *testing.B) {
+		cfg := bigCfg(4)
+		cfg.Mesh.Width, cfg.Mesh.Height = 16, 16
+		cfg.Nodes = 256
+		co, err := pdes.New(cfg, bigWL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := co.Reset(cfg, bigWL); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := co.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 
 	// serial-traced is the serial sweep with an event sink installed on
 	// every spec: the cost of leaving event tracing on. The serial variant

@@ -175,6 +175,12 @@ func TestPairUpdatesSingleMachine(t *testing.T) {
 	if s.SingleMachine.Note != "pdes" {
 		t.Fatalf("note = %q", s.SingleMachine.Note)
 	}
+	// The legs share the snapshot file with the labeled rotation entries, so
+	// they must carry their own notes rather than serialize as "note": "".
+	if s.SingleMachine.BigSerial.Note == "" || s.SingleMachine.BigSharded.Note == "" {
+		t.Fatalf("pair leg notes empty: serial %q, sharded %q",
+			s.SingleMachine.BigSerial.Note, s.SingleMachine.BigSharded.Note)
+	}
 	if s.Current.Note != "pooled" || s.Baseline.Note != "seed" {
 		t.Fatal("pair update disturbed the baseline/current rotation")
 	}

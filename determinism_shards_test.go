@@ -3,7 +3,9 @@ package puno
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -111,4 +113,103 @@ func TestShardedSweepMatchesGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	compareGolden(t, "sweep_golden.txt", renderAll(t, sweep))
+}
+
+// big256Config is the 16x16-mesh stress point: four times the largest mesh
+// the sharer tracking previously supported (the directory's node set was a
+// single uint64 word). Footprint hints re-derive automatically — the
+// profile's FootprintLines scales with the node count — so the interner
+// and dense directory tables pre-size for the larger machine the same way
+// the 64-node pair does.
+func big256Config(shards int) Config {
+	cfg := detConfig()
+	cfg.Scheme = SchemePUNO
+	cfg.Mesh.Width, cfg.Mesh.Height = 16, 16
+	cfg.Nodes = 256
+	cfg.Shards = shards
+	return cfg
+}
+
+// big256Workload keeps the 256-node runs affordable in the test suite: one
+// transaction per node still populates every mesh row with traffic and
+// pushes sharer sets past the first 64-bit word.
+func big256Workload() *Profile { return MustWorkload("intruder").WithTxPerCPU(1) }
+
+// TestSharded256TraceByteIdentical extends the byte-identity contract to
+// the 256-node configuration: the multi-word sharer sets, 16x16 routing,
+// and four-row shard bands must not move a single event.
+func TestSharded256TraceByteIdentical(t *testing.T) {
+	wl := big256Workload()
+	wantRes, wantTrace, err := CaptureEvents(big256Config(1), wl)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	var wantBuf bytes.Buffer
+	if err := wantTrace.Save(&wantBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4} {
+		gotRes, gotTrace, err := CaptureEvents(big256Config(shards), wl)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(gotRes, wantRes) {
+			t.Errorf("shards=%d: Result differs from serial", shards)
+		}
+		var gotBuf bytes.Buffer
+		if err := gotTrace.Save(&gotBuf); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(gotBuf.Bytes(), wantBuf.Bytes()) {
+			continue
+		}
+		if d, ok := FirstDivergence(wantTrace, gotTrace); ok {
+			t.Errorf("shards=%d: trace differs (A=serial, B=sharded): %s",
+				shards, FormatDivergence(wantTrace, gotTrace, d))
+		} else {
+			t.Errorf("shards=%d: trace bytes differ but events identical (line-table or header mismatch)", shards)
+		}
+	}
+}
+
+// renderBig256 digests a 256-node Result into the golden's stable text:
+// the headline counters plus order-sensitive checksums of the per-node
+// tallies, so a silent change anywhere in the run shows as a diff without
+// committing 256-entry tables.
+func renderBig256(r *Result) string {
+	var hc, ha uint64
+	for _, v := range r.PerNodeCommits {
+		hc = hc*1099511628211 + uint64(v)
+	}
+	for _, v := range r.PerNodeAborts {
+		ha = ha*1099511628211 + uint64(v)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "big256 intruder/PUNO 16x16\n")
+	fmt.Fprintf(&b, "cycles=%d commits=%d aborts=%d nacks=%d retries=%d\n",
+		r.Cycles, r.Commits, r.Aborts, r.Nacks, r.Retries)
+	fmt.Fprintf(&b, "dir: txgetx=%d unicasts=%d multicast_fwds=%d mispredictions=%d busy=%d\n",
+		r.DirTxGETXServices, r.DirUnicasts, r.DirMulticastFwds, r.Mispredictions, r.DirBusyAll)
+	fmt.Fprintf(&b, "net: msgs=%v latency=%d queueing=%d traversals=%d\n",
+		r.Net.Messages, r.Net.TotalLatency, r.Net.QueueingDelay, r.Net.TotalTraversals())
+	fmt.Fprintf(&b, "pernode: commits=%#x aborts=%#x\n", hc, ha)
+	return b.String()
+}
+
+// TestBig256Golden pins the 256-node run's measurements under testdata/
+// and requires the 4-shard coordinator to reproduce them exactly.
+func TestBig256Golden(t *testing.T) {
+	serial, err := Run(big256Config(1), big256Workload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := renderBig256(serial)
+	compareGolden(t, "big256_golden.txt", got)
+	sharded, err := Run(big256Config(4), big256Workload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sgot := renderBig256(sharded); sgot != got {
+		t.Errorf("sharded 256-node digest differs from serial:\n--- sharded ---\n%s--- serial ---\n%s", sgot, got)
+	}
 }

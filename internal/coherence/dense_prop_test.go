@@ -16,7 +16,7 @@ import (
 func TestDenseEntryTableMatchesMapModel(t *testing.T) {
 	type modelEntry struct {
 		state   DirState
-		sharers uint64
+		sharers nodeSet
 		owner   int
 	}
 	for seed := uint64(1); seed <= 5; seed++ {
@@ -39,23 +39,26 @@ func TestDenseEntryTableMatchesMapModel(t *testing.T) {
 					model[l] = m
 				}
 				if e.state != m.state || e.sharers != m.sharers || e.owner != m.owner {
-					t.Fatalf("seed %d step %d: entry(%v) = {%v %b %d}, model {%v %b %d}",
+					t.Fatalf("seed %d step %d: entry(%v) = {%v %v %d}, model {%v %v %d}",
 						seed, step, l, e.state, e.sharers, e.owner, m.state, m.sharers, m.owner)
 				}
-				// Random mutation, mirrored into the model.
+				// Random mutation, mirrored into the model. Sharer bits span
+				// the set's full width so the multi-word nodeSet is exercised
+				// beyond word 0.
 				switch rng.Intn(3) {
 				case 0:
 					e.state, m.state = DirShared, DirShared
-					s := uint64(1) << uint(rng.Intn(16))
-					e.sharers, m.sharers = e.sharers|s, m.sharers|s
+					n := rng.Intn(MaxNodes)
+					e.sharers.add(n)
+					m.sharers.add(n)
 				case 1:
 					o := rng.Intn(16)
 					e.state, m.state = DirModified, DirModified
 					e.owner, m.owner = o, o
-					e.sharers, m.sharers = 0, 0
+					e.sharers, m.sharers = nodeSet{}, nodeSet{}
 				case 2: // back to idle-default (recyclable)
 					e.state, m.state = DirInvalid, DirInvalid
-					e.sharers, m.sharers = 0, 0
+					e.sharers, m.sharers = nodeSet{}, nodeSet{}
 					e.owner, m.owner = -1, -1
 				}
 			case 4, 5, 6: // recycle attempt
@@ -77,7 +80,7 @@ func TestDenseEntryTableMatchesMapModel(t *testing.T) {
 				if e != nil {
 					m := model[l]
 					if e.state != m.state || e.sharers != m.sharers || e.owner != m.owner {
-						t.Fatalf("seed %d step %d: lookup(%v) = {%v %b %d}, model {%v %b %d}",
+						t.Fatalf("seed %d step %d: lookup(%v) = {%v %v %d}, model {%v %v %d}",
 							seed, step, l, e.state, e.sharers, e.owner, m.state, m.sharers, m.owner)
 					}
 				}

@@ -106,11 +106,33 @@ type Stats struct {
 	Writebacks      uint64
 }
 
+// nodeSetWords sizes the sharer bitset; MaxNodes = 64*nodeSetWords is the
+// largest machine the directory supports (16x16 mesh at the current width).
+const nodeSetWords = 4
+
+// MaxNodes is the largest node count the sharer tracking supports.
+const MaxNodes = 64 * nodeSetWords
+
+// nodeSet is a fixed-width bitset over node IDs. A value type (not a
+// slice) so the busy-service save/restore (savedShare = sharers) stays a
+// plain copy and entries embed their sets without a pointer chase.
+type nodeSet [nodeSetWords]uint64
+
+// oneNode returns the set holding only node n.
+func oneNode(n int) nodeSet {
+	var s nodeSet
+	s.add(n)
+	return s
+}
+
+func (s *nodeSet) add(n int)      { s[n>>6] |= 1 << uint(n&63) }
+func (s *nodeSet) has(n int) bool { return s[n>>6]&(1<<uint(n&63)) != 0 }
+
 type dirEntry struct {
 	line    mem.Line   // the line this slot currently serves
 	lid     mem.LineID // line's interned ID (index into Directory.idx)
 	state   DirState
-	sharers uint64 // bitmask over nodes
+	sharers nodeSet
 	owner   int
 
 	busy        bool
@@ -125,7 +147,7 @@ type dirEntry struct {
 	gotUnblock  bool
 	unblock     Msg
 	savedState  DirState
-	savedShare  uint64
+	savedShare  nodeSet
 	savedOwner  int
 	busyReqID   uint64
 	busyReqIsTx bool
@@ -179,8 +201,8 @@ type Directory struct {
 // NewDirectory returns the controller for home node `node` in a machine of
 // `nodes` nodes. pred may be nil (baseline multicast).
 func NewDirectory(node, nodes int, env Env, pred Predictor) *Directory {
-	if nodes > 64 {
-		panic("coherence: more than 64 nodes not supported by sharer bitmask")
+	if nodes > MaxNodes {
+		panic(fmt.Sprintf("coherence: %d nodes exceeds the %d-node sharer bitset", nodes, MaxNodes))
 	}
 	it := env.Interner()
 	if it == nil {
@@ -371,11 +393,14 @@ func (d *Directory) recycleIfIdle(e *dirEntry) {
 
 // sharerList builds a fresh sharer slice (diagnostic paths: State,
 // BusyEntries callers). Hot paths use sharersScratch instead.
-func (d *Directory) sharerList(mask uint64, exclude int) []int {
+func (d *Directory) sharerList(set nodeSet, exclude int) []int {
 	var out []int
-	for msk := mask; msk != 0; msk &= msk - 1 {
-		if n := bits.TrailingZeros64(msk); n != exclude {
-			out = append(out, n)
+	for w, msk := range set {
+		base := w << 6
+		for ; msk != 0; msk &= msk - 1 {
+			if n := base + bits.TrailingZeros64(msk); n != exclude {
+				out = append(out, n)
+			}
 		}
 	}
 	return out
@@ -388,11 +413,14 @@ func (d *Directory) sharerList(mask uint64, exclude int) []int {
 // keeps the cost proportional to the sharer count, which is usually 0-2.
 //
 //puno:hot
-func (d *Directory) sharersScratch(mask uint64, exclude int) []int {
+func (d *Directory) sharersScratch(set nodeSet, exclude int) []int {
 	out := d.sharerScratch[:0]
-	for msk := mask; msk != 0; msk &= msk - 1 {
-		if n := bits.TrailingZeros64(msk); n != exclude {
-			out = append(out, n)
+	for w, msk := range set {
+		base := w << 6
+		for ; msk != 0; msk &= msk - 1 {
+			if n := base + bits.TrailingZeros64(msk); n != exclude {
+				out = append(out, n)
+			}
 		}
 	}
 	d.sharerScratch = out
@@ -475,7 +503,7 @@ func (d *Directory) handleGETS(m *Msg) {
 		// Serviced entirely at the home node: read L2, add sharer, reply.
 		data, lat := d.env.LineData(m.Line, m.LID)
 		e.state = DirShared
-		e.sharers |= 1 << uint(m.Src)
+		e.sharers.add(m.Src)
 		d.send(d.DirLatency+lat, Msg{
 			Type: MsgData, Line: m.Line, LID: m.LID, Src: d.node, Dst: m.Src,
 			Requester: m.Src, ReqID: m.ReqID, Data: data, HasData: true,
@@ -557,7 +585,7 @@ func (d *Directory) handleGETX(m *Msg) {
 				IsWrite: true,
 			})
 		}
-		if m.NeedData || e.sharers&(1<<uint(m.Src)) == 0 {
+		if m.NeedData || !e.sharers.has(m.Src) {
 			data, lat := d.env.LineData(m.Line, m.LID)
 			d.send(d.DirLatency+extra+lat, Msg{
 				Type: MsgData, Line: m.Line, LID: m.LID, Src: d.node, Dst: m.Src,
@@ -654,7 +682,7 @@ func (d *Directory) handlePUTX(m *Msg) {
 	d.stats.Writebacks++
 	d.env.StoreLine(m.Line, m.LID, m.Data)
 	e.state = DirInvalid
-	e.sharers = 0
+	e.sharers = nodeSet{}
 	e.owner = -1
 	d.send(d.DirLatency, Msg{
 		Type: MsgWBAck, Line: m.Line, LID: m.LID, Src: d.node, Dst: m.Src,
@@ -676,11 +704,13 @@ func (d *Directory) tryComplete(l mem.Line, e *dirEntry) {
 		case e.busyGETX:
 			e.state = DirModified
 			e.owner = req
-			e.sharers = 1 << uint(req)
+			e.sharers = oneNode(req)
 		case e.busyGETS:
 			// M -> S downgrade: old owner keeps a shared copy.
 			e.state = DirShared
-			e.sharers = e.savedShare | 1<<uint(e.savedOwner) | 1<<uint(req)
+			e.sharers = e.savedShare
+			e.sharers.add(e.savedOwner)
+			e.sharers.add(req)
 			e.owner = -1
 		}
 	} else {

@@ -575,10 +575,12 @@ func TestDirStateStrings(t *testing.T) {
 }
 
 func TestTooManyNodesPanics(t *testing.T) {
+	// MaxNodes itself must construct (the 16x16 config sits right at 256).
+	NewDirectory(0, MaxNodes, newMockEnv(), nil)
 	defer func() {
 		if recover() == nil {
-			t.Error("65-node directory did not panic")
+			t.Errorf("%d-node directory did not panic", MaxNodes+1)
 		}
 	}()
-	NewDirectory(0, 65, newMockEnv(), nil)
+	NewDirectory(0, MaxNodes+1, newMockEnv(), nil)
 }

@@ -56,6 +56,40 @@ func (m *Machine) InjectDeliver(t sim.Time, msg *coherence.Msg) {
 // Active returns the number of owned nodes still running their programs.
 func (m *Machine) Active() int { return m.active }
 
+// BalanceMsgPools levels the message pools of a shard set. A remote
+// message pops from the sender's pool but is freed into the receiver's,
+// so any net traffic imbalance starves the net-sender shards — they
+// allocate fresh messages every run while net-receiver pools hoard. The
+// coordinator calls this between runs; pool contents never affect
+// behavior (fill sites overwrite messages wholesale).
+func BalanceMsgPools(ms []*Machine) {
+	if len(ms) < 2 {
+		return
+	}
+	total := 0
+	for _, m := range ms {
+		total += len(m.msgFree)
+	}
+	share := total / len(ms)
+	var spare []*coherence.Msg
+	for _, m := range ms {
+		if n := len(m.msgFree); n > share {
+			spare = append(spare, m.msgFree[share:]...)
+			m.msgFree = m.msgFree[:share]
+		}
+	}
+	for _, m := range ms {
+		if need := share - len(m.msgFree); need > 0 {
+			n := len(spare)
+			m.msgFree = append(m.msgFree, spare[n-need:]...)
+			spare = spare[:n-need]
+		}
+	}
+	// The division remainder (at most len(ms)-1 messages) goes to the
+	// first pool rather than leaking out of the recycler.
+	ms[0].msgFree = append(ms[0].msgFree, spare...)
+}
+
 // RunErr returns the error a handler raised via fail (nil while healthy).
 // The coordinator polls it after every window in shard order, so a
 // mid-window failure surfaces deterministically.

@@ -20,7 +20,7 @@
 // under cross-shard influence: nothing a shard does inside the window can
 // schedule work for another shard inside it. Each window, every shard with
 // an event in range executes its local events in parallel with the others;
-// staged remote sends are then routed and injected at the barrier. No
+// staged remote sends are then routed and injected at the commit. No
 // rollback is ever needed.
 //
 // # Bit-determinism: the (cycle, seq) merge
@@ -31,29 +31,72 @@
 //
 //   - Events executed inside a window are recorded per shard as entries in
 //     local execution order, which is (time, seq) order for that shard's
-//     queue. A window commit k-way merges the shards' entry queues by
-//     (cycle, serial seq) and replays each entry's effects — event-sink
-//     emissions, and the sends/schedules it performed — in merged order.
+//     queue. A commit k-way merges the shards' entry queues by (cycle,
+//     serial seq) and replays each entry's effects — event-sink emissions,
+//     and the schedules/sends it performed — in merged order. Events with
+//     no effects are not recorded at all: they consume no sequence numbers
+//     and emit nothing, so the merge never needs to see them.
 //
 //   - A schedule that happens during a window gets a provisional sequence
-//     (the shard engine's counter starts each run at 1<<62, above any
-//     serial seq). The commit replay assigns the true serial sequence:
-//     walking entries in serial order, every schedule and every remote
+//     (the shard engine's counter starts the run at 1<<62, above any
+//     serial seq, and never resets — provisional seqs are unique for the
+//     whole run). The commit replay assigns the true serial sequences:
+//     walking entries in merged order, every schedule and every remote
 //     send consumes the next global sequence number exactly as the serial
-//     engine would have, and the provisional event is rekeyed in place
-//     (Engine.Rekey) to its serial seq. A renumber table (provisional →
-//     serial) resolves provisional seqs still sitting in merge entries.
-//     A provisional entry's scheduling parent always executed earlier on
-//     the same shard (live schedules are shard-local), so its serial seq
-//     is known before the entry reaches its queue head — the merge never
-//     stalls.
+//     engine would have. Rather than observing each schedule call, an
+//     entry records the engine's seq counter before and after it ran
+//     (seqLo, seqHi) and each staged send records the counter at its stage
+//     point, which reconstructs the schedule/send interleaving: the replay
+//     fills the shard's run-lifetime renumber table (provisional − base →
+//     serial) arithmetically. A provisional entry's scheduling parent
+//     always executed earlier on the same shard (live schedules are
+//     shard-local) and each renum slot is written exactly once, so an
+//     entry's serial seq is known before it reaches its queue head — the
+//     merge never stalls, even when parent and child commit batches apart.
 //
-//   - Remote sends are staged, not delivered: the commit replays them in
-//     serial order through Mesh.ReserveRoute on the global mesh (link
-//     contention resolves serially) and injects the delivery into the
-//     destination shard with the serial sequence number. The injection
+//   - Pending events are NOT eagerly renumbered: a provisional seq orders
+//     correctly against every seq assigned later (serial seqs only grow,
+//     and shard-local provisional order matches serial order), so the only
+//     pending events that must carry their serial seq are those that can
+//     tie with an earlier-assigned serial key at the same cycle. Those
+//     sites are exactly where serial-keyed events enter a shard's queue:
+//     the commit renumbers the overflow heap (plus in-horizon heap events'
+//     same-cycle buckets — Engine.RekeyOverflow) and, before injecting
+//     remote deliveries, the wheel buckets those deliveries land in
+//     (Engine.RekeyBucket). Everything else keeps its provisional seq for
+//     life; the merge resolves it through the renum table when (and if)
+//     the event's entry is committed.
+//
+//   - Remote sends are staged, not delivered: the commit assigns their
+//     serial seqs during the merge, then replays all of them in one batched
+//     pass through Mesh.ReserveRoute on the global mesh (link contention
+//     resolves serially, in merged order) and injects each delivery into
+//     the destination shard with its serial sequence number. The injection
 //     time t ≥ send + L ≥ the window end, so it never lands in a shard's
-//     already-executed past.
+//     already-executed past. Injection happens after the bulk rekey: the
+//     injected serial seqs interleave with the rekeyed ones, and
+//     chainInsert's positional walk places them correctly among
+//     serial-keyed events.
+//
+// # Window coalescing and the empty fast path
+//
+// Most windows stage no cross-shard send at all — shards run independent
+// stretches far longer than the lookahead. The coordinator therefore does
+// not commit per window: entries, emissions, and the engine seq counters
+// simply accumulate, and the per-window "commit" is an O(shards) check
+// that nothing was staged. A real commit runs only when (a) a window
+// staged at least one remote send — every staged send is then from that
+// last window, so its delivery lands at or after the window end and the
+// batch is still causally closed; (b) coalesceWindows windows have
+// accumulated, bounding the batch's memory and keeping the certification
+// surface small; or (c) the run ends with a sink installed (emissions must
+// flow; nothing else in a sendless trailing batch is observable).
+//
+// Batching cannot change the output: windows in a batch are disjoint and
+// increasing in time (nothing is injected between them), so each shard's
+// accumulated entry list is still (cycle, seq)-sorted and the global merged
+// order — hence every serial seq assignment, route reservation, and
+// emission — is identical no matter where the commit boundaries fall.
 //
 // Window execution is parallel but each shard touches only its own state;
 // the line interner is the one shared structure (mutex-guarded assignment,
@@ -78,49 +121,89 @@ import (
 )
 
 // provSeqBase is where every shard engine's sequence counter starts after
-// node-start events are seeded: far above any serial sequence number, so a
-// provisional seq is recognizable and — because pre-window events sort
-// before same-cycle in-window schedules in the serial order too — sorts
-// correctly even before renumbering.
+// node-start events are seeded, and it never resets: far above any serial
+// sequence number, so a provisional seq is recognizable for the whole run
+// and — because earlier events sort before same-cycle later schedules in
+// the serial order too — sorts correctly even before renumbering.
 const provSeqBase = uint64(1) << 62
 
-// op records one side effect of an executed event, in program order: a
-// schedule performed on the shard engine (msg nil: the event id and its
-// provisional seq) or a staged remote send (msg non-nil). One interleaved
-// list per shard, because the serial engine hands out sequence numbers to
-// schedules and send deliveries in exactly the order the handler makes
-// them.
-type op struct {
-	msg *coherence.Msg
-	id  sim.EventID
-	seq uint64
+// coalesceWindows bounds how many send-free windows accumulate before the
+// coordinator commits anyway. The bound keeps batch memory proportional to
+// a handful of windows and keeps the determinism argument local (a batch is
+// re-certified every K windows, not once per run); its value only moves
+// the amortization point, never the output.
+const coalesceWindows = 8
+
+// send records one staged remote message and the shard engine's seq
+// counter at the moment it was staged. The counter value positions the
+// send among its entry's schedules: the serial engine hands out sequence
+// numbers to schedules and send deliveries in exactly the order the
+// handler makes them, and seqAt reconstructs that interleaving without
+// observing each schedule call. The routing header (src, dst, class,
+// flits) is copied out while the message is cache-hot so the commit's
+// reservation pass never dereferences thousands of cold messages.
+type send struct {
+	msg   *coherence.Msg
+	seqAt uint64
+	src   int32
+	dst   int32
+	class noc.Class
+	flits int32
 }
 
-// entry is one executed event in a shard's window: when it ran, the seq it
-// ran under (serial, or provisional if scheduled this window), and its
-// slices of the shard's staged emissions and ops.
-type entry struct {
-	at             sim.Time
-	seq            uint64
-	emitLo, emitHi int32
-	opLo, opHi     int32
+// route is one merged remote send awaiting the batched reservation pass:
+// its message and copied routing header, the cycle it was sent, and the
+// serial seq its delivery event must carry.
+type route struct {
+	msg   *coherence.Msg
+	at    sim.Time
+	gseq  uint64
+	src   int32
+	dst   int32
+	class noc.Class
+	flits int32
 }
 
-// shard is one worker's slice of the machine plus its window scratch.
+// provFlag marks an entry key as a still-provisional seq offset. Serial
+// seqs stay below 1<<31 (guarded in commit) and executed cycles below
+// 1<<32 (guarded in Eligible), so an entry's merge key packs into one
+// uint64 — cycle<<32 | serial seq — and the merge scan is single-compare.
+const provFlag = uint32(1) << 31
+
+// entry is one executed event with effects in a shard's batch — the
+// engine's 20-byte drain log record: the cycle it ran at, the seq it ran
+// under (serial, or a provFlag-tagged provisional offset if scheduled
+// this batch), and the END of its schedule span (as an offset from
+// provSeqBase), send list, and staged-emission slice. The start bounds
+// are implicit: entries consume the batch's seqs, sends, and emissions
+// contiguously, so replay derives them from per-shard cursors.
+type entry = sim.DrainEntry
+
 type shard struct {
-	m       *machine.Machine
-	eng     *sim.Engine
-	lo, hi  int
-	stage   probe.Buffer // window-local event-sink staging
+	m      *machine.Machine
+	eng    *sim.Engine
+	lo, hi int
+	// nextAt caches the shard's earliest pending event time between
+	// windows: runWindow refreshes it from the StepBefore that ends the
+	// window, and commit lowers it when an injection lands earlier. The
+	// coordinator's window selection is pure arithmetic over these.
+	nextAt  sim.Time
+	stage   probe.Buffer // batch-local event-sink staging
 	entries []entry
-	ops     []op
-	renum   []uint64 // provisional seq - winBase → serial seq (0 = unset)
-	winBase uint64   // engine seq counter at window start
+	sends   []send
+	renum   []uint64 // provisional seq - provSeqBase → serial seq; a slot is valid once its batch's replay writes it
 	head    int      // commit cursor into entries
-	headAt  sim.Time // cached merge key of entries[head] (resolved)
-	headKey uint64
-	obs     func(id sim.EventID, at sim.Time, seq uint64)
-	xsend   func(*coherence.Msg)
+	headM   uint64   // resolved merge key of entries[head]: cycle<<32 | seq
+	// batchSeq is the provisional-seq offset the current batch started at;
+	// rSeq/rSend/rEmit are replay cursors tracking how much of the batch's
+	// seq span, send list, and staged emissions have been consumed.
+	batchSeq uint32
+	rSeq     uint32
+	rSend    int32
+	rEmit    int32
+	sendN    int32 // == len(sends); the engine drain's external effect counter
+	traced   bool  // coordinator has an event sink; track emissions
+	xsend    func(*coherence.Msg)
 	work    chan sim.Time
 	done    chan struct{}
 }
@@ -139,10 +222,15 @@ type Coordinator struct {
 	shards  []*shard
 	owner   []int32 // node id → shard index
 	gseq    uint64
+	// coalesced counts the send-free windows that skipped the commit
+	// barrier (diagnostics; lets tests assert the coalescing path ran).
+	coalesced int
 
-	// Scratch reused across windows / runs.
+	// Scratch reused across commits / runs.
 	parts   []*shard
+	routes  []route
 	results []*machine.Result
+	ms      []*machine.Machine
 }
 
 // Eligible reports whether cfg/wl can run under the coordinator. Ineligible
@@ -163,6 +251,9 @@ func Eligible(cfg machine.Config, wl machine.Workload) bool {
 	}
 	if cfg.Mesh.MinRemoteLatency() < 1 {
 		return false
+	}
+	if cfg.MaxCycles >= 1<<32 {
+		return false // executed cycles must fit the packed 32-bit merge key
 	}
 	if _, ok := wl.(machine.FootprintHinter); !ok {
 		return false
@@ -196,6 +287,7 @@ func (c *Coordinator) Reset(cfg machine.Config, wl machine.Workload) error {
 	c.cfg, c.wl = cfg, wl
 	c.sink = cfg.EventSink
 	c.gseq = 0
+	c.routes = c.routes[:0]
 
 	if c.it == nil {
 		c.it = mem.NewInterner()
@@ -223,11 +315,13 @@ func (c *Coordinator) Reset(cfg machine.Config, wl machine.Workload) error {
 		c.shards = make([]*shard, nsh)
 		for i := range c.shards {
 			sh := &shard{}
-			sh.obs = func(id sim.EventID, _ sim.Time, seq uint64) {
-				sh.ops = append(sh.ops, op{id: id, seq: seq})
-			}
 			sh.xsend = func(msg *coherence.Msg) {
-				sh.ops = append(sh.ops, op{msg: msg})
+				sh.sends = append(sh.sends, send{
+					msg: msg, seqAt: sh.eng.Seq(),
+					src: int32(msg.Src), dst: int32(msg.Dst),
+					class: msg.Class(), flits: int32(msg.Flits()),
+				})
+				sh.sendN++
 			}
 			c.shards[i] = sh
 		}
@@ -245,9 +339,13 @@ func (c *Coordinator) Reset(cfg machine.Config, wl machine.Workload) error {
 		}
 		sh.stage.Reset()
 		sh.entries = sh.entries[:0]
-		sh.ops = sh.ops[:0]
+		sh.sends = sh.sends[:0]
+		sh.renum = sh.renum[:0]
 		sh.head = 0
-		sh.winBase = 0
+		sh.batchSeq = 0
+		sh.sendN = 0
+		sh.traced = c.sink != nil
+		sh.nextAt = sim.Infinity
 		if c.sink != nil {
 			scfg.EventSink = &sh.stage
 		} else {
@@ -264,6 +362,16 @@ func (c *Coordinator) Reset(cfg machine.Config, wl machine.Workload) error {
 		}
 		sh.eng = sh.m.Engine()
 	}
+	// Remote messages pop from the sender's pool and recycle into the
+	// receiver's; level the pools so net-sender shards don't allocate
+	// fresh messages every run.
+	if c.ms == nil || len(c.ms) != len(c.shards) {
+		c.ms = make([]*machine.Machine, len(c.shards))
+	}
+	for i, sh := range c.shards {
+		c.ms[i] = sh.m
+	}
+	machine.BalanceMsgPools(c.ms)
 	return nil
 }
 
@@ -285,15 +393,20 @@ func (c *Coordinator) LineTable() []mem.Line {
 func (c *Coordinator) Run() (*machine.Result, error) {
 	// Seed node starts with their serial sequence numbers (the serial start
 	// loop schedules node i's first fetch with seq i), then park each
-	// engine's counter in the provisional range.
+	// engine's counter in the provisional range and prime the nextAt cache.
 	for _, sh := range c.shards {
 		for i := sh.lo; i < sh.hi; i++ {
 			sh.eng.SetSeq(uint64(i))
 			sh.m.StartNode(i)
 		}
 		sh.eng.SetSeq(provSeqBase)
+		sh.nextAt = sim.Infinity
+		if at, _, ok := sh.eng.Peek(); ok {
+			sh.nextAt = at
+		}
 	}
 	c.gseq = uint64(c.cfg.Nodes)
+	c.coalesced = 0
 
 	// Per-run workers: one goroutine per shard, handed one window at a
 	// time. The channel pair gives the race detector (and the memory
@@ -333,11 +446,12 @@ func (c *Coordinator) Run() (*machine.Result, error) {
 	lookahead := c.mesh.MinRemoteLatency()
 	maxC := c.cfg.MaxCycles
 	hung := false
+	windows := 0 // send-free windows accumulated since the last commit
 	for {
 		t := sim.Infinity
 		for _, sh := range c.shards {
-			if at, _, ok := sh.eng.Peek(); ok && at < t {
-				t = at
+			if sh.nextAt < t {
+				t = sh.nextAt
 			}
 		}
 		if t == sim.Infinity {
@@ -353,7 +467,7 @@ func (c *Coordinator) Run() (*machine.Result, error) {
 		}
 		parts := c.parts[:0]
 		for _, sh := range c.shards {
-			if at, _, ok := sh.eng.Peek(); ok && at < wend {
+			if sh.nextAt < wend {
 				parts = append(parts, sh)
 			}
 		}
@@ -379,7 +493,30 @@ func (c *Coordinator) Run() (*machine.Result, error) {
 				return nil, err
 			}
 		}
-		c.commit(parts)
+		// The empty-window fast path: when nothing was staged, this whole
+		// "commit" is the O(shards) scan below. Any staged send forces a
+		// real commit now (all staged sends are then from this window, so
+		// the batch stays causally closed); otherwise one is forced every
+		// coalesceWindows windows to bound batch memory.
+		staged := false
+		for _, sh := range c.shards {
+			if len(sh.sends) > 0 {
+				staged = true
+				break
+			}
+		}
+		windows++
+		if staged || windows >= coalesceWindows {
+			c.commit()
+			windows = 0
+		} else {
+			c.coalesced++
+		}
+	}
+	// Flush the trailing send-free batch only when its emissions are
+	// observable; its remaining effect is seq bookkeeping nobody reads.
+	if c.sink != nil {
+		c.commit()
 	}
 
 	active := 0
@@ -403,141 +540,266 @@ func (c *Coordinator) Run() (*machine.Result, error) {
 	return machine.MergeShardResults(c.wl.Name(), c.cfg.Scheme, c.cfg.Nodes, c.results, c.mesh.Stats()), nil
 }
 
-// runWindow executes one shard's events in [now, wend), recording an entry
-// per event with its staged emissions and ops. Runs on the shard's worker
-// goroutine; touches only shard-local state (plus the shared interner
-// through the machine's handlers).
+// runWindow executes one shard's events in [now, wend), appending an entry
+// per event that had effects (schedules, sends, or emissions) onto the
+// shard's batch, and leaves the shard's next pending time in nextAt. Runs
+// on the shard's worker goroutine; touches only shard-local state (plus
+// the shared interner through the machine's handlers).
 //
 //puno:hot
 func runWindow(sh *shard, wend sim.Time) {
-	sh.entries = sh.entries[:0]
-	sh.ops = sh.ops[:0]
-	sh.head = 0
-	sh.stage.Reset()
-	sh.winBase = sh.eng.Seq()
-	sh.eng.SetScheduleObserver(sh.obs)
-	for {
-		at, seq, ok := sh.eng.Peek()
-		if !ok || at >= wend {
-			break
-		}
-		e := entry{at: at, seq: seq, emitLo: int32(sh.stage.Len()), opLo: int32(len(sh.ops))}
-		sh.eng.Step()
-		e.emitHi = int32(sh.stage.Len())
-		e.opHi = int32(len(sh.ops))
-		sh.entries = append(sh.entries, e)
+	if sh.traced {
+		runWindowTraced(sh, wend)
+		return
 	}
-	// The commit's InjectDeliver calls must not be recorded as ops.
-	sh.eng.SetScheduleObserver(nil)
+	// The engine drains the window in one tight loop, recording effectful
+	// events itself; sendN (bumped by the xsend hook) is the external
+	// effect counter and always equals len(sh.sends).
+	sh.entries, sh.nextAt = sh.eng.DrainBefore(wend, provSeqBase, provFlag, sh.entries, &sh.sendN)
 }
 
-// commit merges the participants' window entries by (cycle, serial seq) and
-// replays each in serial order. Single-threaded, after the window barrier.
-//
-// Each shard's next merge key is resolved once, when the entry reaches the
-// shard's head (resolveHead), and cached — by then its scheduling parent
-// (always an earlier entry of the same shard; schedules are shard-local)
-// has been replayed, so the resolution is final and the scan loop is pure
-// comparisons. Once a single shard remains its tail replays in entry
-// order, no comparisons at all.
-//
-//puno:hot
-func (c *Coordinator) commit(parts []*shard) {
-	live := 0
-	for _, sh := range parts {
-		c.sizeRenum(sh)
-		if c.resolveHead(sh) {
-			live++
+// runWindowTraced is runWindow with staged-emission tracking: an event
+// that only emitted probe events still needs an entry so the merged
+// stream interleaves emissions in serial order.
+func runWindowTraced(sh *shard, wend sim.Time) {
+	eng := sh.eng
+	emit := int32(sh.stage.Len())
+	snd := int32(len(sh.sends))
+	pseq := eng.Seq()
+	for {
+		at, seq, ran := eng.StepBefore(wend)
+		if !ran {
+			sh.nextAt = at
+			return
+		}
+		e2 := int32(sh.stage.Len())
+		s2 := int32(len(sh.sends))
+		q2 := eng.Seq()
+		if e2 != emit || s2 != snd || q2 != pseq {
+			key := uint32(seq)
+			if seq >= provSeqBase {
+				key = uint32(seq-provSeqBase) | provFlag
+			}
+			sh.entries = append(sh.entries, entry{
+				At: uint32(at), Key: key,
+				SeqHi: uint32(q2 - provSeqBase),
+				Emit:  e2,
+				Send:  s2,
+			})
+			emit, snd, pseq = e2, s2, q2
 		}
 	}
-	for live > 1 {
-		var best *shard
-		for _, sh := range parts {
-			if sh.head >= len(sh.entries) {
-				continue
-			}
-			if best == nil || sh.headAt < best.headAt ||
-				(sh.headAt == best.headAt && sh.headKey < best.headKey) {
+}
+
+// commit merges the batch's entries by (cycle, serial seq), replaying each
+// in serial order: emissions flow to the real sink and serial seqs are
+// assigned to every schedule and send. Pending provisional events are then
+// renumbered only where a serial key could tie with them at the same cycle
+// (the overflow heap, and the wheel buckets injections land in); everything
+// else keeps its provisional seq, which already sorts correctly against
+// every key assigned later. Finally the staged remote sends are routed and
+// injected in one batched reservation pass. Single-threaded, after the
+// window barrier.
+//
+// Each shard's next merge key is resolved once, when the entry reaches the
+// shard's head, and cached — by then its scheduling parent (always an
+// earlier entry of the same shard; schedules are shard-local) has been
+// replayed, so the resolution is final and the selection loop is pure
+// comparisons over the cached keys.
+//
+//puno:hot
+func (c *Coordinator) commit() {
+	parts := c.parts[:0]
+	for _, sh := range c.shards {
+		if len(sh.entries) == 0 {
+			continue
+		}
+		parts = append(parts, sh)
+		c.growRenum(sh)
+		sh.head = 0
+		sh.headM = c.mergeKey(sh, &sh.entries[0])
+		sh.rSeq = sh.batchSeq
+		sh.rSend = 0
+		sh.rEmit = 0
+	}
+	c.parts = parts
+	if len(parts) == 0 {
+		return
+	}
+	// The packed key gives serial seqs 31 bits; a run that exhausts them
+	// would mis-merge silently, so refuse loudly (no feasible simulation
+	// gets near 2^31 schedule actions before hitting MaxCycles first).
+	if c.gseq >= 1<<31 {
+		panic("pdes: serial sequence space exceeds the packed merge key")
+	}
+	gseq := c.gseq
+	// Merge by a k-way min selection per entry. Shards interleave at cycle
+	// granularity, so consecutive entries rarely come from the same shard
+	// and maintaining a sorted part order costs more than it saves; instead
+	// each exhausted shard parks its head key at MaxUint64 and the fixed
+	// total-entry count bounds the loop, so selection needs no liveness or
+	// termination checks. The send-free common case renumbers inline;
+	// replay handles sends and trace emission.
+	total := 0
+	for _, sh := range parts {
+		total += len(sh.entries)
+	}
+	for i := 0; i < total; i++ {
+		best := parts[0]
+		for _, sh := range parts[1:] {
+			if sh.headM < best.headM {
 				best = sh
 			}
 		}
-		e := &best.entries[best.head]
-		best.head++
-		c.replay(best, e)
-		if !c.resolveHead(best) {
-			live--
+		h := best.head
+		e := &best.entries[h]
+		h++
+		best.head = h
+		if e.Send == best.rSend && !best.traced {
+			renum := best.renum
+			for p, end := best.rSeq, e.SeqHi; p < end; p++ {
+				renum[p] = gseq
+				gseq++
+			}
+			best.rSeq = e.SeqHi
+		} else {
+			gseq = c.replay(best, e, gseq)
+		}
+		if h < len(best.entries) {
+			best.headM = c.mergeKey(best, &best.entries[h])
+		} else {
+			best.headM = ^uint64(0)
 		}
 	}
+	c.gseq = gseq
+	// Renumber the overflow heap (and the wheel buckets sharing a cycle
+	// with its in-horizon residents): serial-keyed injections can land
+	// there, and a same-cycle tie against a still-provisional seq would
+	// break the serial order. The per-shard renumbering is strictly
+	// increasing, so the mapping preserves chain and heap order.
 	for _, sh := range parts {
-		for sh.head < len(sh.entries) {
-			e := &sh.entries[sh.head]
-			sh.head++
-			c.replay(sh, e)
+		sh.eng.RekeyOverflow(provSeqBase, sh.renum)
+		sh.entries = sh.entries[:0]
+		sh.sends = sh.sends[:0]
+		sh.stage.Reset()
+		sh.head = 0
+		sh.sendN = 0
+		sh.batchSeq = uint32(sh.eng.Seq() - provSeqBase)
+	}
+	// Batched reservation pass: all of the batch's remote routes cross the
+	// global mesh in merged order, so link contention resolves exactly as
+	// in the serial run.
+	for i := range c.routes {
+		r := &c.routes[i]
+		r.at = c.mesh.ReserveRoute(r.at, int(r.src), int(r.dst), r.class, int(r.flits))
+	}
+	// Renumber every bucket a delivery lands in before injecting any of
+	// them: once a serial-keyed delivery is placed in a chain, mapping a
+	// provisional neighbor to a smaller serial seq afterwards would leave
+	// the chain unsorted.
+	var lastD *shard
+	var lastAt sim.Time
+	for i := range c.routes {
+		r := &c.routes[i]
+		d := c.shards[c.owner[r.dst]]
+		if d == lastD && r.at == lastAt {
+			continue // bucket already renumbered for this batch
+		}
+		lastD, lastAt = d, r.at
+		d.eng.RekeyBucket(r.at, provSeqBase, d.renum)
+	}
+	// Inject each delivery under its serial seq; chainInsert's positional
+	// walk places it among the (now serial-keyed) same-cycle events.
+	for i := range c.routes {
+		r := &c.routes[i]
+		d := c.shards[c.owner[r.dst]]
+		save := d.eng.Seq()
+		d.eng.SetSeq(r.gseq)
+		d.m.InjectDeliver(r.at, r.msg)
+		d.eng.SetSeq(save)
+		if r.at < d.nextAt {
+			d.nextAt = r.at
 		}
 	}
+	c.routes = c.routes[:0]
 }
 
-// resolveHead caches sh's next merge key and reports whether entries
-// remain. A provisional seq at the head is always resolvable: its parent
-// committed earlier on the same shard and wrote the renum slot.
+// mergeKey resolves e's packed merge key (cycle<<32 | serial seq). A
+// provisional key is always resolvable: its parent replayed earlier on the
+// same shard — this commit or a previous one; the renum table spans the
+// run — and wrote the slot.
 //
 //puno:hot
-func (c *Coordinator) resolveHead(sh *shard) bool {
-	if sh.head >= len(sh.entries) {
-		return false
-	}
-	e := &sh.entries[sh.head]
-	key := e.seq
-	if key >= provSeqBase {
-		key = sh.renum[key-sh.winBase]
-		if key == 0 {
+func (c *Coordinator) mergeKey(sh *shard, e *entry) uint64 {
+	k := uint64(e.Key)
+	if e.Key&provFlag != 0 {
+		k = sh.renum[e.Key&^provFlag]
+		if k == 0 {
 			panic("pdes: provisional seq unresolved at merge head")
 		}
 	}
-	sh.headAt, sh.headKey = e.at, key
-	return true
+	return uint64(e.At)<<32 | k
 }
 
-// sizeRenum sizes and clears sh's provisional→serial table for the window
-// just executed (kept out of the hot merge path: it may allocate on first
-// growth).
-func (c *Coordinator) sizeRenum(sh *shard) {
-	n := int(sh.eng.Seq() - sh.winBase)
-	if cap(sh.renum) < n {
-		sh.renum = make([]uint64, n)
+// growRenum extends sh's run-lifetime provisional→serial table to cover
+// every seq the engine has handed out. The table persists across commits —
+// each slot is written exactly once, by the replay of the entry that
+// consumed the seq — so growth only ever exposes fresh (zeroed) slots.
+// Kept out of the hot merge path: it may allocate on growth.
+func (c *Coordinator) growRenum(sh *shard) {
+	n := int(sh.eng.Seq() - provSeqBase)
+	if n <= len(sh.renum) {
 		return
 	}
-	sh.renum = sh.renum[:n]
-	clear(sh.renum)
+	if cap(sh.renum) >= n {
+		// No clear: every slot in the extension is written by this
+		// commit's replay before anything reads it (the batch's entry
+		// spans cover all seqs the engine handed out).
+		sh.renum = sh.renum[:n]
+		return
+	}
+	grown := make([]uint64, n, 2*n)
+	copy(grown, sh.renum)
+	sh.renum = grown
 }
 
 // replay applies one committed entry: forward its staged emissions to the
-// run's real sink, then walk its ops in program order, handing each the
-// next global sequence number exactly as the serial engine would — rekeying
-// live schedules, and routing + injecting staged remote sends over the
-// global mesh.
+// run's real sink, then reconstruct its schedule/send interleaving from
+// the recorded seq-counter marks, handing each effect the next global
+// sequence number exactly as the serial engine would — schedules fill the
+// run-lifetime renum table, sends join the batched reservation pass.
 //
 //puno:hot
-func (c *Coordinator) replay(sh *shard, e *entry) {
+func (c *Coordinator) replay(sh *shard, e *entry, gseq uint64) uint64 {
 	if c.sink != nil {
 		evs := sh.stage.Events()
-		for _, ev := range evs[e.emitLo:e.emitHi] {
+		for _, ev := range evs[sh.rEmit:e.Emit] {
 			c.sink.Emit(ev)
 		}
+		sh.rEmit = e.Emit
 	}
-	for i := e.opLo; i < e.opHi; i++ {
-		o := &sh.ops[i]
-		if o.msg == nil {
-			sh.eng.Rekey(o.id, c.gseq)
-			sh.renum[o.seq-sh.winBase] = c.gseq
-		} else {
-			at := c.mesh.ReserveRoute(e.at, o.msg.Src, o.msg.Dst, o.msg.Class(), o.msg.Flits())
-			d := c.shards[c.owner[o.msg.Dst]]
-			save := d.eng.Seq()
-			d.eng.SetSeq(c.gseq)
-			d.m.InjectDeliver(at, o.msg)
-			d.eng.SetSeq(save)
+	p := uint64(sh.rSeq)
+	end := uint64(e.SeqHi)
+	for i := sh.rSend; i < e.Send; i++ {
+		s := &sh.sends[i]
+		sAt := s.seqAt - provSeqBase
+		for p < sAt {
+			sh.renum[p] = gseq
+			gseq++
+			p++
 		}
-		c.gseq++
+		c.routes = append(c.routes, route{
+			msg: s.msg, at: sim.Time(e.At), gseq: gseq,
+			src: s.src, dst: s.dst, class: s.class, flits: s.flits,
+		})
+		gseq++
 	}
+	sh.rSend = e.Send
+	for p < end {
+		sh.renum[p] = gseq
+		gseq++
+		p++
+	}
+	sh.rSeq = e.SeqHi
+	return gseq
 }

@@ -132,8 +132,9 @@ func (b *Buffer) Reset() { b.evs = b.evs[:0] }
 //
 // Arg layouts keep every field at a fixed shift so the differ can render
 // both sides of a divergence without type switches. Node indices fit 8 bits
-// (the directory supports at most 64 nodes); request ids keep their low 32
-// bits, which is plenty to disambiguate within any window a human inspects.
+// (IDs 0-255, matching the directory's 256-node sharer-set ceiling); request
+// ids keep their low 32 bits, which is plenty to disambiguate within any
+// window a human inspects.
 
 // PackSend packs a KindSend payload.
 func PackSend(msgType uint8, dst, requester int, reqID uint64) uint64 {

@@ -117,12 +117,6 @@ type Engine struct {
 	// Overflow level: 4-ary heap of slab indices, ordered by (at, seq),
 	// holding events scheduled at or beyond the wheel horizon.
 	heap []int32
-
-	// onSchedule, when set, observes every schedule call with the new
-	// event's identity and (at, seq) key. The sharded coordinator installs
-	// it during a shard's window execution to record which events were
-	// scheduled with provisional seqs; it is nil in every serial run.
-	onSchedule func(id EventID, at Time, seq uint64)
 }
 
 // NewEngine returns an engine with the clock at cycle 0 and the default
@@ -190,7 +184,6 @@ func (e *Engine) Reset() {
 	e.seq = 0
 	e.nRun = 0
 	e.stopped = false
-	e.onSchedule = nil
 }
 
 // Seq returns the insertion sequence number the next scheduled event will
@@ -204,13 +197,6 @@ func (e *Engine) Seq() uint64 { return e.seq }
 // not by blind append.
 func (e *Engine) SetSeq(seq uint64) { e.seq = seq }
 
-// SetScheduleObserver installs (or, with nil, removes) a callback invoked
-// after every successful schedule with the new event's id and (at, seq)
-// key. The observer must not schedule or cancel events.
-func (e *Engine) SetScheduleObserver(fn func(id EventID, at Time, seq uint64)) {
-	e.onSchedule = fn
-}
-
 // Peek returns the (at, seq) key of the event Step would run next, without
 // popping it. ok is false when nothing is pending or the engine is stopped.
 func (e *Engine) Peek() (at Time, seq uint64, ok bool) {
@@ -223,6 +209,49 @@ func (e *Engine) Peek() (at Time, seq uint64, ok bool) {
 	}
 	s := &e.slots[idx]
 	return s.at, s.seq, true
+}
+
+// RekeyBucket reassigns the insertion sequence number of every event in
+// the wheel bucket holding cycle t whose seq is at least base to
+// renum[seq-base], keeping firing times. It is the bulk counterpart of
+// Rekey for the sharded commit path: one short chain walk renumbers
+// exactly the events that could tie with a serial-keyed arrival at t. A t
+// at or beyond the wheel horizon is a no-op (no wheel event shares its
+// cycle).
+//
+// Precondition: the mapping must be strictly increasing over the live seqs
+// it covers, and every mapped-to seq must be larger than every seq below
+// base already in the bucket. Both hold for the coordinator's
+// provisional→serial table — the merge hands out serial seqs in each
+// shard's local order, and serial seqs only grow — and together they mean
+// the walk preserves the chain's sort order, so no restructuring is
+// needed.
+func (e *Engine) RekeyBucket(t Time, base uint64, renum []uint64) {
+	if t-e.now >= e.window {
+		return
+	}
+	for idx := e.buckets[uint64(t)&e.mask].head; idx >= 0; idx = e.slots[idx].next {
+		s := &e.slots[idx]
+		if s.seq >= base {
+			s.seq = renum[s.seq-base]
+		}
+	}
+}
+
+// RekeyOverflow bulk-renumbers the overflow heap under the same mapping
+// and preconditions as RekeyBucket: every heap event with seq ≥ base is
+// reassigned in place (a monotone mapping cannot violate the heap
+// property), and for each heap event already inside the wheel horizon the
+// same-cycle wheel bucket is renumbered too, so cross-level (at, seq)
+// tie-breaks between the two queue levels stay serial-correct.
+func (e *Engine) RekeyOverflow(base uint64, renum []uint64) {
+	for _, idx := range e.heap {
+		s := &e.slots[idx]
+		if s.seq >= base {
+			s.seq = renum[s.seq-base]
+		}
+		e.RekeyBucket(s.at, base, renum)
+	}
 }
 
 // Rekey reassigns the insertion sequence number of a still-pending event,
@@ -291,11 +320,7 @@ func (e *Engine) schedule(t Time, fn Event, h Handler, arg any, word uint64) Eve
 		e.heap = append(e.heap, idx)
 		e.siftUp(int(s.pos))
 	}
-	id := EventID{slot: idx + 1, gen: s.gen}
-	if e.onSchedule != nil {
-		e.onSchedule(id, t, s.seq)
-	}
-	return id
+	return EventID{slot: idx + 1, gen: s.gen}
 }
 
 // chainInsert links a filled slot into its time bucket, keeping the chain
@@ -505,6 +530,91 @@ func (e *Engine) runSlot(idx int32) {
 	} else {
 		h.OnEvent(arg, word)
 	}
+}
+
+// StepBefore runs the single next event if it fires strictly before limit.
+// When it runs one, it returns that event's (at, seq) key with ran=true.
+// Otherwise the queue is left untouched and it returns the key of the event
+// Step would run next — (Infinity, 0) when nothing is pending or the engine
+// is stopped — with ran=false. The sharded window loop drives execution
+// through this instead of a Peek/Step pair, paying one queue scan per event
+// instead of two, and reads the shard's next pending time out of the
+// failing call for free.
+//
+//puno:hot
+func (e *Engine) StepBefore(limit Time) (at Time, seq uint64, ran bool) {
+	if e.stopped {
+		return Infinity, 0, false
+	}
+	idx := e.nextEvent()
+	if idx < 0 {
+		return Infinity, 0, false
+	}
+	s := &e.slots[idx]
+	if s.at >= limit {
+		return s.at, s.seq, false
+	}
+	at, seq = s.at, s.seq
+	e.popSlot(idx)
+	e.runSlot(idx)
+	return at, seq, true
+}
+
+// DrainEntry is one effectful event executed by DrainBefore: the cycle it
+// ran at, its (possibly flag-tagged) sequence key, the engine seq counter
+// after it ran (as an offset from the drain's base), and the caller's
+// external effect counter after it ran. Emit is written by callers that
+// track a second effect stream; DrainBefore itself leaves it zero.
+type DrainEntry struct {
+	At    uint32
+	Key   uint32
+	SeqHi uint32
+	Send  int32
+	Emit  int32
+}
+
+// DrainBefore runs every event firing strictly before limit in one tight
+// loop — the windowed equivalent of Run — appending one DrainEntry per
+// effectful event to log. An event is effectful when it scheduled
+// something (the seq counter advanced) or when *ext changed (the caller's
+// hooks bump ext for externally staged effects, e.g. remote sends). Keys
+// pack as uint32(seq), tagged with flag when seq >= base; counter values
+// are recorded as offsets from base. It returns the grown log and the
+// time of the next pending event — Infinity when the queue drained or the
+// engine was stopped. Executed cycles and counter offsets must fit 32
+// bits; the caller guarantees both.
+//
+//puno:hot
+func (e *Engine) DrainBefore(limit Time, base uint64, flag uint32, log []DrainEntry, ext *int32) ([]DrainEntry, Time) {
+	x := *ext
+	pseq := e.seq
+	for !e.stopped {
+		idx := e.nextEvent()
+		if idx < 0 {
+			return log, Infinity
+		}
+		s := &e.slots[idx]
+		if s.at >= limit {
+			return log, s.at
+		}
+		at, seq := s.at, s.seq
+		e.popSlot(idx)
+		e.runSlot(idx)
+		x2, q2 := *ext, e.seq
+		if x2 != x || q2 != pseq {
+			key := uint32(seq)
+			if seq >= base {
+				key |= flag
+			}
+			log = append(log, DrainEntry{
+				At: uint32(at), Key: key,
+				SeqHi: uint32(q2 - base),
+				Send:  x2,
+			})
+			x, pseq = x2, q2
+		}
+	}
+	return log, Infinity
 }
 
 // Step runs the single next event. It returns false if the queue is empty

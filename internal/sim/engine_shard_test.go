@@ -127,33 +127,210 @@ func TestRekeyHeap(t *testing.T) {
 	}
 }
 
-func TestScheduleObserver(t *testing.T) {
+func TestStepBefore(t *testing.T) {
 	e := NewEngine()
 	h := &wordRecorder{}
-	type obs struct {
-		id  EventID
-		at  Time
-		seq uint64
+	if at, seq, ran := e.StepBefore(100); ran || at != Infinity || seq != 0 {
+		t.Fatalf("StepBefore on empty engine = (%d, %d, %v), want (Infinity, 0, false)", at, seq, ran)
 	}
-	var got []obs
-	e.SetScheduleObserver(func(id EventID, at Time, seq uint64) {
-		got = append(got, obs{id, at, seq})
-	})
-	id := e.AtEvent(3, h, nil, 1)
-	if len(got) != 1 || got[0].id != id || got[0].at != 3 || got[0].seq != 0 {
-		t.Fatalf("observer saw %+v, want [{%+v 3 0}]", got, id)
+	e.AtEvent(5, h, nil, 1)  // seq 0
+	e.AtEvent(10, h, nil, 2) // seq 1
+	at, seq, ran := e.StepBefore(6)
+	if !ran || at != 5 || seq != 0 {
+		t.Fatalf("StepBefore(6) = (%d, %d, %v), want (5, 0, true)", at, seq, ran)
 	}
-	e.SetScheduleObserver(nil)
-	e.AtEvent(4, h, nil, 2)
-	if len(got) != 1 {
-		t.Fatal("removed observer still fired")
+	if e.Now() != 5 {
+		t.Fatalf("clock after StepBefore = %d, want 5", e.Now())
 	}
-	e.SetScheduleObserver(func(id EventID, at Time, seq uint64) {
-		got = append(got, obs{id, at, seq})
-	})
-	e.Reset()
-	e.AtEvent(5, h, nil, 3)
-	if len(got) != 1 {
-		t.Fatal("Reset did not clear the schedule observer")
+	// Next event is at the limit: must not run, must report its key.
+	at, seq, ran = e.StepBefore(10)
+	if ran || at != 10 || seq != 1 {
+		t.Fatalf("StepBefore(10) = (%d, %d, %v), want (10, 1, false)", at, seq, ran)
+	}
+	if len(h.fired) != 1 {
+		t.Fatalf("StepBefore at the limit ran the event (fired %v)", h.fired)
+	}
+	if at, seq, ran = e.StepBefore(11); !ran || at != 10 || seq != 1 {
+		t.Fatalf("StepBefore(11) = (%d, %d, %v), want (10, 1, true)", at, seq, ran)
+	}
+	e.AtEvent(20, h, nil, 3)
+	e.Stop()
+	if at, _, ran := e.StepBefore(Infinity); ran || at != Infinity {
+		t.Fatalf("StepBefore on stopped engine = (%d, _, %v), want (Infinity, false)", at, ran)
+	}
+}
+
+// TestRekeyBucketAndOverflow bulk-renumbers provisional events sitting in
+// a wheel bucket and in the overflow heap, then certifies the new seqs are
+// real: fresh events scheduled between the mapped values (via SetSeq)
+// interleave exactly where the renumbering put them.
+func TestRekeyBucketAndOverflow(t *testing.T) {
+	const base = uint64(1) << 62
+	e := NewEngineWindow(64)
+	h := &wordRecorder{}
+	e.SetSeq(5)
+	e.AtEvent(7, h, nil, 100) // serial seq 5, below base: must be untouched
+	e.SetSeq(base)
+	e.AtEvent(7, h, nil, 101)    // base+0, wheel
+	e.AtEvent(7, h, nil, 102)    // base+1, wheel (same bucket chain)
+	e.AtEvent(1000, h, nil, 103) // base+2, overflow heap
+	e.AtEvent(1000, h, nil, 104) // base+3, overflow heap
+	renum := []uint64{10, 20, 30, 40}
+	e.RekeyBucket(7, base, renum)
+	e.RekeyOverflow(base, renum)
+	// Events inserted after the bulk passes, keyed between the mapped seqs:
+	// chainInsert's positional walk and the heap's sift must slot them in.
+	e.SetSeq(15)
+	e.AtEvent(7, h, nil, 105) // between the rekeyed 10 and 20
+	e.SetSeq(35)
+	e.AtEvent(1000, h, nil, 106) // between the rekeyed 30 and 40
+	e.Run(Infinity)
+	want := []uint64{100, 101, 105, 102, 103, 106, 104}
+	if len(h.fired) != len(want) {
+		t.Fatalf("fired %d events, want %d (%v)", len(h.fired), len(want), h.fired)
+	}
+	for i := range want {
+		if h.fired[i] != want[i] {
+			t.Fatalf("fired order %v, want %v (bulk rekey misordered)", h.fired, want)
+		}
+	}
+}
+
+// TestRekeyBucketHorizonGuard pins the horizon check: a cycle at or beyond
+// the wheel window aliases onto some bucket's slot, and rekeying it must
+// not touch the in-horizon events living there.
+func TestRekeyBucketHorizonGuard(t *testing.T) {
+	const base = uint64(1) << 62
+	e := NewEngineWindow(64)
+	h := &wordRecorder{}
+	e.SetSeq(base)
+	e.AtEvent(7, h, nil, 1) // provisional, in the cycle-7 bucket
+	// Cycle 71 shares the bucket slot (71 mod 64 = 7) but sits outside the
+	// horizon: the guard must refuse, leaving the cycle-7 event provisional.
+	e.RekeyBucket(71, base, []uint64{5})
+	e.SetSeq(6)
+	e.AtEvent(7, h, nil, 2) // serial 6: sorts before any provisional
+	e.Run(Infinity)
+	if want := []uint64{2, 1}; len(h.fired) != 2 || h.fired[0] != want[0] || h.fired[1] != want[1] {
+		t.Fatalf("fired order %v, want %v (out-of-horizon RekeyBucket touched the aliased bucket)", h.fired, want)
+	}
+}
+
+// TestRekeyAcrossHorizonBoundary pins the cross-level FIFO tie-break under
+// rekeying: an event parked in the overflow heap long ago shares its cycle
+// with a wheel event scheduled once the cycle came inside the horizon, and
+// the winner must follow the rekeyed seqs, whichever level holds them.
+func TestRekeyAcrossHorizonBoundary(t *testing.T) {
+	e := NewEngineWindow(64)
+	h := &wordRecorder{}
+	heapEv := e.AtEvent(100, h, nil, 1) // seq 0: beyond the horizon, heap
+	e.AtEvent(50, h, nil, 2)            // seq 1: wheel
+	e.Step()                            // run the wheel event; now = 50, 100 is inside the horizon
+	e.AtEvent(100, h, nil, 3)           // seq 2: same cycle as the heap resident, lands in the wheel
+	// Rekey the heap resident after the same-cycle wheel event: the
+	// cross-level (at, seq) comparison in nextEvent must now pick the wheel
+	// side first.
+	if !e.Rekey(heapEv, 10) {
+		t.Fatal("Rekey of the heap resident failed")
+	}
+	e.Run(Infinity)
+	if want := []uint64{2, 3, 1}; len(h.fired) != 3 || h.fired[0] != want[0] ||
+		h.fired[1] != want[1] || h.fired[2] != want[2] {
+		t.Fatalf("fired order %v, want %v (horizon-boundary rekey misordered)", h.fired, want)
+	}
+}
+
+// TestCancelAfterRekey certifies EventID generation safety around rekeying:
+// rekeying (per-event or bulk) must not invalidate a held id, and a fired
+// slot's recycled tenant must stay safe from the stale id.
+func TestCancelAfterRekey(t *testing.T) {
+	const base = uint64(1) << 62
+	e := NewEngine()
+	h := &wordRecorder{}
+	e.SetSeq(base)
+	a := e.AtEvent(9, h, nil, 1)
+	b := e.AtEvent(9, h, nil, 2)
+	if !e.Rekey(a, base+100) {
+		t.Fatal("Rekey of a live event failed")
+	}
+	if !e.Cancel(a) {
+		t.Fatal("Cancel after Rekey failed: rekeying must not touch the generation")
+	}
+	e.RekeyBucket(9, base, []uint64{0, 7})
+	if !e.Cancel(b) {
+		t.Fatal("Cancel after RekeyBucket failed: the bulk pass must not touch generations")
+	}
+	// Recycle a's slot for a new event; the stale id must not cancel it.
+	c := e.AtEvent(12, h, nil, 3)
+	if e.Cancel(a) {
+		t.Fatal("stale EventID cancelled a recycled slot's new tenant")
+	}
+	if !e.Cancel(c) {
+		t.Fatal("Cancel of the recycled slot's live tenant failed")
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after cancelling everything, want 0", got)
+	}
+}
+
+// funcHandler adapts a closure to Handler for tests that need side effects.
+type funcHandler struct{ f func(word uint64) }
+
+func (h *funcHandler) OnEvent(arg any, word uint64) { h.f(word) }
+
+// TestDrainBefore drives the windowed drain the PDES coordinator's untraced
+// path runs: only effectful events (a schedule or an external-counter bump)
+// may append entries, keys carry the provisional flag exactly when the
+// event's seq sits at or above the renumbering base, and the returned time
+// is the first undrained event's (Infinity once the queue empties).
+func TestDrainBefore(t *testing.T) {
+	const base = uint64(1) << 62
+	const flag = uint32(1) << 31
+	e := NewEngine()
+	var ext int32
+	quiet := &wordRecorder{}
+	sched2 := &funcHandler{f: func(uint64) { e.AtEvent(7, quiet, nil, 0) }}
+	sched := &funcHandler{f: func(uint64) { e.AtEvent(5, sched2, nil, 0) }}
+	sender := &funcHandler{f: func(uint64) { ext++ }}
+
+	e.AtEvent(1, quiet, nil, 0)  // seq 0: no effect, no entry
+	e.AtEvent(2, sched, nil, 0)  // seq 1: schedules -> entry, serial key
+	e.AtEvent(3, sender, nil, 0) // seq 2: bumps ext -> entry
+	e.AtEvent(9, quiet, nil, 0)  // seq 3: at the window edge, not drained
+	e.SetSeq(base)
+
+	log, next := e.DrainBefore(9, base, flag, nil, &ext)
+	if next != 9 {
+		t.Fatalf("next = %d, want the undrained event's time 9", next)
+	}
+	if ext != 1 {
+		t.Fatalf("ext = %d, want 1", ext)
+	}
+	want := []DrainEntry{
+		{At: 2, Key: 1, SeqHi: 1, Send: 0},        // scheduled the cycle-5 child (prov seq base+0)
+		{At: 3, Key: 2, SeqHi: 1, Send: 1},        // ext bump only, seq untouched
+		{At: 5, Key: 0 | flag, SeqHi: 2, Send: 1}, // provisional event, schedules cycle-7 child
+	}
+	if len(log) != len(want) {
+		t.Fatalf("log has %d entries, want %d: %+v", len(log), len(want), log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, log[i], want[i])
+		}
+	}
+
+	log2, next2 := e.DrainBefore(100, base, flag, log[:0], &ext)
+	if next2 != Infinity {
+		t.Fatalf("next after draining everything = %d, want Infinity", next2)
+	}
+	if len(log2) != 0 {
+		t.Fatalf("quiet tail produced entries: %+v", log2)
+	}
+
+	e.AtEvent(50, quiet, nil, 0)
+	e.Stop()
+	if log3, next3 := e.DrainBefore(100, base, flag, nil, &ext); len(log3) != 0 || next3 != Infinity {
+		t.Fatalf("stopped engine drained: %d entries, next %d", len(log3), next3)
 	}
 }
