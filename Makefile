@@ -13,11 +13,15 @@ test:
 	$(GO) test ./...
 
 # Static analysis: stock go vet plus punovet, the project's own analyzers
-# (maprange, wallclock, hotalloc, handlerfunc) that mechanize the
-# determinism and zero-allocation invariants. See DESIGN.md.
+# (maprange, wallclock, hotalloc, handlerfunc, msglife, shardconfine,
+# probeguard) that mechanize the determinism and zero-allocation
+# invariants, then the compiler-backed escape gate (-escape), which parses
+# `go build -gcflags=-m=2` diagnostics and fails on any unblessed heap
+# allocation inside a //puno:hot function. See DESIGN.md.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/punovet ./...
+	$(GO) run ./cmd/punovet -escape ./...
 
 # Race-detector pass over everything; certifies the parallel sweep runner.
 race:

@@ -1,17 +1,28 @@
 // Package lint is punovet's analysis framework: a small, stdlib-only
 // re-creation of the golang.org/x/tools/go/analysis API shape (the module
-// is built offline, so x/tools cannot be vendored) plus the four
-// project-specific analyzers that mechanize the simulator's determinism and
-// zero-allocation invariants:
+// is built offline, so x/tools cannot be vendored) plus the
+// project-specific analyzers that mechanize the simulator's determinism
+// and zero-allocation invariants:
 //
-//   - maprange:    no `for … range` over maps in simulation packages
-//   - wallclock:   no time.Now/time.Since/time.Until or math/rand there
-//   - hotalloc:    no per-event allocation inside hot functions
-//   - handlerfunc: sim.Handler arguments are named funcs/methods, not closures
+//   - maprange:     no `for … range` over maps in simulation packages
+//   - wallclock:    no time.Now/time.Since/time.Until or math/rand there
+//   - hotalloc:     no per-event allocation inside hot functions
+//   - handlerfunc:  sim.Handler arguments are named funcs/methods, not closures
+//   - msglife:      pooled *coherence.Msg pointers are never parked past
+//     handler return (park by value instead)
+//   - shardconfine: PDES shard workers touch only shard-local state and
+//     the blessed cross-shard APIs
+//   - probeguard:   every probe.Sink emission is dominated by a nil check
+//
+// The eighth check, the escape gate (escape.go, `punovet -escape`), is not
+// an Analyzer: it parses `go build -gcflags=-m=2` diagnostics — compiler
+// ground truth for //puno:hot functions — instead of walking the AST.
 //
 // Findings may be suppressed per statement with a written reason (see
 // suppress.go); suppressions are forbidden entirely in internal/sim,
-// internal/noc, and internal/machine.
+// internal/noc, internal/machine, internal/mem, and internal/pdes, where
+// exemptions are reviewed structural allowlists keyed by
+// types.Func.FullName() instead.
 package lint
 
 import (

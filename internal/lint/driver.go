@@ -4,6 +4,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one resolved diagnostic, positioned and attributed.
@@ -13,9 +14,29 @@ type Finding struct {
 	Message  string
 }
 
-// Default returns punovet's analyzer suite.
+// Timing is one analyzer's cumulative wall time across a run, for the
+// `punovet -v` summary.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// Default returns punovet's analyzer suite. The escape gate is the eighth
+// check but not an *Analyzer — it drives the compiler, not a Pass — and
+// runs via RunEscape (`punovet -escape`).
 func Default() []*Analyzer {
-	return []*Analyzer{MapRange, WallClock, HotAlloc, HandlerFunc}
+	return []*Analyzer{MapRange, WallClock, HotAlloc, HandlerFunc, MsgLife, ShardConfine, ProbeGuard}
+}
+
+// universalAnalyzers run on every loaded package, not just the audited
+// simulation set: a closure handler is wrong wherever the scheduling call
+// appears, and an unguarded probe hook is a nil-interface panic wherever
+// the emission sits (the trace/report layers hold sinks too).
+var universalAnalyzers = map[*Analyzer]bool{}
+
+func init() {
+	universalAnalyzers[HandlerFunc] = true
+	universalAnalyzers[ProbeGuard] = true
 }
 
 // auditedPkgs are the simulation packages whose determinism and
@@ -71,14 +92,22 @@ func audited(pkgPath string) bool {
 // directives and suppressions missing a reason are findings, and any
 // suppression inside noSuppressPkgs is a finding regardless of its reason.
 func RunAnalyzers(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := RunAnalyzersTimed(dir, patterns, analyzers)
+	return findings, err
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus a per-analyzer cumulative timing
+// summary (the `punovet -v` report), in the order the analyzers were given.
+func RunAnalyzersTimed(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, []Timing, error) {
 	pkgs, err := Load(dir, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var findings []Finding
+	elapsed := make(map[*Analyzer]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			if a != HandlerFunc && !audited(pkg.PkgPath) {
+			if !universalAnalyzers[a] && !audited(pkg.PkgPath) {
 				continue
 			}
 			pass := newPass(a, pkg)
@@ -89,12 +118,26 @@ func RunAnalyzers(dir string, patterns []string, analyzers []*Analyzer) ([]Findi
 					Message:  d.Message,
 				})
 			}
-			if _, err := a.Run(pass); err != nil {
-				return nil, err
+			start := time.Now()
+			_, err := a.Run(pass)
+			elapsed[a] += time.Since(start)
+			if err != nil {
+				return nil, nil, err
 			}
 		}
 		findings = append(findings, checkDirectives(pkg)...)
 	}
+	sortFindings(findings)
+	timings := make([]Timing, 0, len(analyzers))
+	for _, a := range analyzers {
+		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: elapsed[a]})
+	}
+	return findings, timings, nil
+}
+
+// sortFindings orders findings by file, line, then analyzer, the stable
+// order every reporting path prints in.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -105,7 +148,6 @@ func RunAnalyzers(dir string, patterns []string, analyzers []*Analyzer) ([]Findi
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
 }
 
 func newPass(a *Analyzer, pkg *Package) *Pass {

@@ -55,12 +55,20 @@ func (p *Pass) isHotFunc(fd *ast.FuncDecl) bool {
 	if fd.Doc != nil {
 		docStart = p.Fset.Position(fd.Doc.Pos()).Line
 	}
-	for _, d := range p.Directives() {
-		if d.Kind == dirHot && d.File == file && d.Line >= docStart && d.Line < funcLine+1 {
-			return true
-		}
+	return p.markedInDoc(dirHot, file, docStart, funcLine)
+}
+
+// isWorkerFunc reports whether fd is annotated //puno:worker — the marker
+// shardconfine uses to scope its coordinator-state checks to PDES
+// shard-worker paths.
+func (p *Pass) isWorkerFunc(fd *ast.FuncDecl) bool {
+	funcLine := p.Fset.Position(fd.Pos()).Line
+	file := p.Fset.Position(fd.Pos()).Filename
+	docStart := funcLine
+	if fd.Doc != nil {
+		docStart = p.Fset.Position(fd.Doc.Pos()).Line
 	}
-	return false
+	return p.markedInDoc(dirWorker, file, docStart, funcLine)
 }
 
 // isHandlerOnEvent reports whether fd is a method named OnEvent with the

@@ -212,6 +212,81 @@ func TestRealTreeClean(t *testing.T) {
 	}
 }
 
+// TestEscapeGateFixture matches the compiler-backed gate against the
+// escapegate fixture's want annotations: real heap escapes in hot
+// functions are findings; panic paths, cold functions, and blessed
+// amortized-growth callees are filtered.
+func TestEscapeGateFixture(t *testing.T) {
+	pkg := loadFixture(t, "escapegate")
+	findings, err := RunEscape(".", []string{"./testdata/src/escapegate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFindings(t, findings, parseWants(t, pkg))
+}
+
+// TestEscapeGateRealTree is the escape half of the acceptance gate: the
+// compiler reports zero unblessed heap allocations inside the repo's hot
+// functions.
+func TestEscapeGateRealTree(t *testing.T) {
+	findings, err := RunEscape(".", []string{"repro/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+	}
+}
+
+// TestAnalyzerTimings pins the -v plumbing: every analyzer in the run gets
+// a timing entry, in suite order.
+func TestAnalyzerTimings(t *testing.T) {
+	_, timings, err := RunAnalyzersTimed(".", []string{"./testdata/src/maprange"}, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timings) != len(Default()) {
+		t.Fatalf("got %d timings, want %d", len(timings), len(Default()))
+	}
+	for i, a := range Default() {
+		if timings[i].Analyzer != a.Name {
+			t.Errorf("timing %d is %s, want %s", i, timings[i].Analyzer, a.Name)
+		}
+	}
+}
+
+// TestWorkerDirective pins //puno:worker parsing: bare form marks the next
+// declaration, and arguments are malformed.
+func TestWorkerDirective(t *testing.T) {
+	if d := parseDirective("//puno:worker"); d.Kind != dirWorker {
+		t.Errorf("bare //puno:worker parsed as kind %d, want dirWorker", d.Kind)
+	}
+	if d := parseDirective("//puno:worker runWindow"); d.Kind != dirMalformed {
+		t.Errorf("//puno:worker with arguments parsed as kind %d, want dirMalformed", d.Kind)
+	}
+}
+
+// TestPdesWorkersMarked pins the audit fix this PR ships: the PDES window
+// runners carry //puno:worker, so shardconfine actually polices the
+// worker goroutine's entry paths in the real tree.
+func TestPdesWorkersMarked(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "pdes", "pdes.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []string{"func runWindow(", "func runWindowTraced("} {
+		idx := strings.Index(string(raw), fn)
+		if idx < 0 {
+			t.Fatalf("fixture rot: %s not found in internal/pdes/pdes.go", fn)
+		}
+		head := string(raw[:idx])
+		tail := head[strings.LastIndex(head[:len(head)-1], "\n\n"):]
+		if !strings.Contains(tail, "//puno:worker") {
+			t.Errorf("%s is not marked //puno:worker; shardconfine no longer polices it", fn)
+		}
+	}
+}
+
 // TestFireWakeupsRegressionCaught re-creates the PR 1 bug class in a throwaway
 // module-external file check: a map range added to an audited package is
 // reported. (Uses the maprange fixture as the stand-in audited package; the

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ProbeGuard enforces the probe contract PR 6 set: every emission into a
+// probe.Sink interface value is dominated by a nil check of that exact
+// sink expression, so a machine built without a sink pays one predictable
+// branch per potential event and nothing else. An unguarded s.Emit(…) on
+// a nil sink is a panic three layers below the event loop; a guard on the
+// wrong expression (checking m.sink, emitting t.probe) is the same bug
+// wearing a disguise.
+//
+// Two guard shapes are recognized, matching the tree's idiom:
+//
+//	if s != nil { s.Emit(e) }            // guarded body (also s != nil && …)
+//	if s == nil { return }; s.Emit(e)    // early return guards the rest
+//
+// Emissions on concrete sink types (e.g. *probe.Buffer) are not flagged:
+// a concrete method call on a typed receiver is the caller's own object,
+// and the nil-receiver hazard the contract targets is the interface-typed
+// hook fields. The analyzer runs on every package — a probe hook is wrong
+// unguarded wherever it appears. Test files are exempt.
+var ProbeGuard = &Analyzer{
+	Name: "probeguard",
+	Doc:  "require a dominating nil check at every probe.Sink emission site",
+	Run:  runProbeGuard,
+}
+
+func runProbeGuard(pass *Pass) (any, error) {
+	for i, f := range pass.Files {
+		if pass.isTestFile(i) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedStmts(pass, fd.Name.Name, fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil, nil
+}
+
+// isProbeSink reports whether t is the probe.Sink interface type.
+func isProbeSink(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Sink" || obj.Pkg() == nil || obj.Pkg().Name() != "probe" {
+		return false
+	}
+	_, isIface := named.Underlying().(*types.Interface)
+	return isIface
+}
+
+// sinkKey renders the receiver expression of a Sink emission or nil check
+// to its canonical source form, the key guard tracking matches on.
+func sinkKey(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// nilCmp decomposes `e` as `x <op> nil` (either operand order), returning
+// x and the operator.
+func nilCmp(e ast.Expr) (ast.Expr, token.Token, bool) {
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+		return nil, 0, false
+	}
+	if id, ok := b.Y.(*ast.Ident); ok && id.Name == "nil" {
+		return b.X, b.Op, true
+	}
+	if id, ok := b.X.(*ast.Ident); ok && id.Name == "nil" {
+		return b.Y, b.Op, true
+	}
+	return nil, 0, false
+}
+
+// guardedKeys extracts the sink expressions proven non-nil when cond is
+// true: `x != nil`, possibly as conjuncts of &&.
+func guardedKeys(cond ast.Expr) []string {
+	if b, ok := cond.(*ast.BinaryExpr); ok && b.Op == token.LAND {
+		return append(guardedKeys(b.X), guardedKeys(b.Y)...)
+	}
+	if x, op, ok := nilCmp(cond); ok && op == token.NEQ {
+		return []string{sinkKey(x)}
+	}
+	return nil
+}
+
+// terminates reports whether the block unconditionally leaves the
+// enclosing scope: its last statement is a return, branch, or panic.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func withKeys(guarded map[string]bool, keys []string) map[string]bool {
+	if len(keys) == 0 {
+		return guarded
+	}
+	out := make(map[string]bool, len(guarded)+len(keys))
+	for k := range guarded {
+		out[k] = true
+	}
+	for _, k := range keys {
+		out[k] = true
+	}
+	return out
+}
+
+// checkGuardedStmts walks a statement list tracking which sink expressions
+// a dominating nil check has proven non-nil, and reports every
+// probe.Sink emission outside that set.
+func checkGuardedStmts(pass *Pass, fn string, list []ast.Stmt, guarded map[string]bool) {
+	for i, s := range list {
+		switch x := s.(type) {
+		case *ast.IfStmt:
+			if x.Init != nil {
+				scanStmtEmissions(pass, fn, x.Init, guarded)
+			}
+			if keys := guardedKeys(x.Cond); len(keys) > 0 {
+				checkGuardedStmts(pass, fn, x.Body.List, withKeys(guarded, keys))
+				checkGuardedElse(pass, fn, x.Else, guarded)
+				continue
+			}
+			if nx, op, ok := nilCmp(x.Cond); ok && op == token.EQL {
+				// if x == nil { … }: else branch and — when the body
+				// returns — the rest of this block see x non-nil.
+				checkGuardedStmts(pass, fn, x.Body.List, guarded)
+				checkGuardedElse(pass, fn, x.Else, withKeys(guarded, []string{sinkKey(nx)}))
+				if terminates(x.Body) {
+					checkGuardedStmts(pass, fn, list[i+1:], withKeys(guarded, []string{sinkKey(nx)}))
+					return
+				}
+				continue
+			}
+			scanExprEmissions(pass, fn, x.Cond, guarded)
+			checkGuardedStmts(pass, fn, x.Body.List, guarded)
+			checkGuardedElse(pass, fn, x.Else, guarded)
+		case *ast.BlockStmt:
+			checkGuardedStmts(pass, fn, x.List, guarded)
+		case *ast.ForStmt:
+			if x.Init != nil {
+				scanStmtEmissions(pass, fn, x.Init, guarded)
+			}
+			if x.Cond != nil {
+				scanExprEmissions(pass, fn, x.Cond, guarded)
+			}
+			if x.Post != nil {
+				scanStmtEmissions(pass, fn, x.Post, guarded)
+			}
+			checkGuardedStmts(pass, fn, x.Body.List, guarded)
+		case *ast.RangeStmt:
+			scanExprEmissions(pass, fn, x.X, guarded)
+			checkGuardedStmts(pass, fn, x.Body.List, guarded)
+		case *ast.SwitchStmt:
+			if x.Init != nil {
+				scanStmtEmissions(pass, fn, x.Init, guarded)
+			}
+			if x.Tag != nil {
+				scanExprEmissions(pass, fn, x.Tag, guarded)
+			}
+			for _, c := range x.Body.List {
+				cc := c.(*ast.CaseClause)
+				for _, e := range cc.List {
+					scanExprEmissions(pass, fn, e, guarded)
+				}
+				checkGuardedStmts(pass, fn, cc.Body, guarded)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range x.Body.List {
+				checkGuardedStmts(pass, fn, c.(*ast.CaseClause).Body, guarded)
+			}
+		case *ast.SelectStmt:
+			for _, c := range x.Body.List {
+				checkGuardedStmts(pass, fn, c.(*ast.CommClause).Body, guarded)
+			}
+		case *ast.LabeledStmt:
+			checkGuardedStmts(pass, fn, []ast.Stmt{x.Stmt}, guarded)
+		default:
+			scanStmtEmissions(pass, fn, s, guarded)
+		}
+	}
+}
+
+func checkGuardedElse(pass *Pass, fn string, els ast.Stmt, guarded map[string]bool) {
+	if els == nil {
+		return
+	}
+	checkGuardedStmts(pass, fn, []ast.Stmt{els}, guarded)
+}
+
+// scanStmtEmissions inspects a leaf statement's expressions for Sink
+// emissions. Func literals start a fresh guard scope: the closure may run
+// when the enclosing function's checks no longer hold.
+func scanStmtEmissions(pass *Pass, fn string, s ast.Stmt, guarded map[string]bool) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkGuardedStmts(pass, fn, lit.Body.List, map[string]bool{})
+			return false
+		}
+		reportIfUnguardedEmit(pass, fn, n, guarded)
+		return true
+	})
+}
+
+func scanExprEmissions(pass *Pass, fn string, e ast.Expr, guarded map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkGuardedStmts(pass, fn, lit.Body.List, map[string]bool{})
+			return false
+		}
+		reportIfUnguardedEmit(pass, fn, n, guarded)
+		return true
+	})
+}
+
+func reportIfUnguardedEmit(pass *Pass, fn string, n ast.Node, guarded map[string]bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Emit" {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil || !isProbeSink(t) {
+		return
+	}
+	if guarded[sinkKey(sel.X)] {
+		return
+	}
+	if pass.suppressed("probeguard", call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"probe.Sink emission %s.Emit in %s is not dominated by a nil check of %s; guard it with `if %s != nil` (one predictable branch per site)", sinkKey(sel.X), fn, sinkKey(sel.X), sinkKey(sel.X))
+}

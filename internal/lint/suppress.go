@@ -21,19 +21,26 @@ import (
 //	//puno:unordered — <reason>     sugar for //puno:allow maprange
 //	//puno:allow <analyzer> — <reason>
 //	//puno:hot                      marks the next function declaration hot
-//	                                (checked by hotalloc); takes no reason
+//	                                (checked by hotalloc and the escape
+//	                                gate); takes no reason
+//	//puno:worker                   marks the next function declaration as a
+//	                                PDES shard-worker path (checked by
+//	                                shardconfine); takes no reason
 //
 // The reason separator is an em dash, "--", or ":". A suppression without a
 // reason does not suppress anything and is itself reported as a finding, as
 // is a directive with an unknown verb. //puno:unordered and //puno:allow
-// are forbidden outright in internal/sim, internal/noc, and
-// internal/machine (driver.go enforces this).
+// are forbidden outright in internal/sim, internal/noc, internal/machine,
+// internal/mem, and internal/pdes (driver.go enforces this); the reviewed
+// structural allowlists keyed by types.Func.FullName are the only
+// exemption mechanism in those packages.
 
 type dirKind uint8
 
 const (
 	dirSuppress  dirKind = iota // unordered / allow
 	dirHot                      // puno:hot
+	dirWorker                   // puno:worker
 	dirMalformed                // unparseable //puno: comment
 )
 
@@ -117,6 +124,11 @@ func parseDirective(text string) directive {
 			return directive{Kind: dirMalformed, Problem: "puno:hot takes no arguments"}
 		}
 		return directive{Kind: dirHot}
+	case "worker":
+		if strings.TrimSpace(rest) != "" {
+			return directive{Kind: dirMalformed, Problem: "puno:worker takes no arguments"}
+		}
+		return directive{Kind: dirWorker}
 	case "unordered":
 		return directive{Kind: dirSuppress, Analyzer: "maprange", Reason: parseReason(rest)}
 	case "allow":
@@ -154,6 +166,20 @@ func parseReason(s string) string {
 func (p *Pass) hotMarked(file string, line int) bool {
 	for _, d := range p.Directives() {
 		if d.Kind == dirHot && d.File == file && d.AppliesTo == line {
+			return true
+		}
+	}
+	return false
+}
+
+// markedInDoc reports whether a directive of the given kind appears between
+// docStart and funcLine inclusive — i.e. anywhere in the declaration's doc
+// comment block or directly above the func keyword. isHotFunc and
+// isWorkerFunc share this so //puno:hot and //puno:worker behave
+// identically whether they sit on their own line or inside a doc comment.
+func (p *Pass) markedInDoc(kind dirKind, file string, docStart, funcLine int) bool {
+	for _, d := range p.Directives() {
+		if d.Kind == kind && d.File == file && d.Line >= docStart && d.Line < funcLine+1 {
 			return true
 		}
 	}

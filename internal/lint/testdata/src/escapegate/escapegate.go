@@ -1,0 +1,94 @@
+// Package escapegate is the punovet fixture for the compiler-backed
+// escape gate: heap allocations the gc escape analysis reports inside
+// //puno:hot functions are findings, while panic paths, constant strings,
+// and blessed amortized-growth callees are filtered out. Unlike the AST
+// fixtures, the expectations here are matched against real `go build
+// -gcflags=-m=2` output, so every shape is chosen to have a stable,
+// version-independent escape verdict (stored in a package var, returned
+// from the function, or captured by a sink).
+package escapegate
+
+import "fmt"
+
+type record struct {
+	vals [4]uint64
+}
+
+type table struct {
+	slots []uint64
+}
+
+var (
+	escaped *record
+	intSink *int
+)
+
+// hotLeak parks a fresh composite in a package var: the textbook
+// per-event heap allocation the gate exists to catch.
+//
+//puno:hot
+func hotLeak() {
+	r := &record{} // want "escapes to heap"
+	escaped = r
+}
+
+// hotMake returns a freshly made slice, which must escape.
+//
+//puno:hot
+func hotMake(n int) []uint64 {
+	return make([]uint64, n) // want "escapes to heap"
+}
+
+// hotMoved leaks the address of a local, moving it to the heap.
+//
+//puno:hot
+func hotMoved() {
+	x := 0 // want "moved to heap"
+	intSink = &x
+}
+
+// hotClean is steady-state arithmetic over existing storage: no findings.
+//
+//puno:hot
+func hotClean(t *table, id int) uint64 {
+	if id < len(t.slots) {
+		return t.slots[id] * 3
+	}
+	return 0
+}
+
+// hotBlessed hits the amortized-growth idiom: growSlot's allocation is
+// inlined into the call site here, and the gate blesses the line because
+// the callee is in escapeAllowedCallees.
+//
+//puno:hot
+func hotBlessed(t *table, id int) uint64 {
+	if id >= len(t.slots) {
+		growSlot(t, id)
+	}
+	return t.slots[id]
+}
+
+// hotPanicPath allocates only inside a panic call: cold by definition,
+// filtered by the gate.
+//
+//puno:hot
+func hotPanicPath(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("escapegate: negative count %d", n))
+	}
+	return n * 2
+}
+
+// growSlot doubles the dense table; it allocates only on growth, the
+// blessed amortized idiom (see escapeAllowedCallees).
+func growSlot(t *table, id int) {
+	ns := make([]uint64, id+1)
+	copy(ns, t.slots)
+	t.slots = ns
+}
+
+// coldMake allocates outside any hot function: never a finding.
+func coldMake(n int) []uint64 {
+	return make([]uint64, n)
+}

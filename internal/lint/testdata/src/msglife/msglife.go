@@ -1,0 +1,41 @@
+// Package msglife is the punovet fixture for the pooled-message lifetime
+// contract: a handler's *coherence.Msg is freed on return, so every store
+// that outlives the handler — struct field, package var, slice/map
+// element, closure capture — must copy by value, never park the pointer.
+package msglife
+
+import (
+	"repro/internal/coherence"
+)
+
+// handlerEnv mimics a directory/node with parking structures.
+type handlerEnv struct {
+	parked  *coherence.Msg
+	waiters []*coherence.Msg
+	byID    map[uint64]*coherence.Msg
+	staged  []stagedSend
+	deliver func()
+}
+
+type stagedSend struct {
+	msg   *coherence.Msg
+	seqAt uint64
+}
+
+// lastSeen is a package-level parking spot: same bug, wider blast radius.
+var lastSeen *coherence.Msg
+
+// parkByPointer is the PR 7 bug shape in every variant the analyzer must
+// catch: the handler return frees m back to the pool, and every one of
+// these stores now aliases whatever the pool hands out next.
+func parkByPointer(e *handlerEnv, m *coherence.Msg) {
+	e.parked = m                                    // want "parked by pointer"
+	e.waiters = append(e.waiters, m)                // want "parked by pointer"
+	e.byID[m.ReqID] = m                             // want "parked by pointer"
+	e.staged = append(e.staged, stagedSend{msg: m}) // want "parked by pointer"
+	lastSeen = m                                    // want "parked by pointer"
+	e.deliver = func() { consume(m) }               // want "captures pooled \\*coherence.Msg m"
+	e.waiters[0] = m                                // want "parked by pointer"
+}
+
+func consume(m *coherence.Msg) { _ = m.ReqID }

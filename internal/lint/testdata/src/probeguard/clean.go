@@ -1,0 +1,43 @@
+package probeguard
+
+import (
+	"repro/internal/probe"
+)
+
+// guardedBody is the machine.send idiom: emission inside `if s != nil`.
+func guardedBody(t *traced, e probe.Event) {
+	if t.sink != nil {
+		t.sink.Emit(e)
+	}
+}
+
+// earlyReturn is the htm/directory emit idiom: `if s == nil { return }`
+// guards the rest of the function.
+func earlyReturn(t *traced, e probe.Event) {
+	if t.sink == nil {
+		return
+	}
+	t.sink.Emit(e)
+	for i := 0; i < t.n; i++ {
+		t.sink.Emit(e) // still dominated: the early return left the scope
+	}
+}
+
+// conjunctGuard covers `s != nil && cond` and both sinks guarded.
+func conjunctGuard(t *traced, e probe.Event) {
+	if t.sink != nil && t.n > 0 {
+		t.sink.Emit(e)
+	}
+	if t.sink != nil {
+		if t.other != nil {
+			t.other.Emit(e)
+			t.sink.Emit(e)
+		}
+	}
+}
+
+// concreteSink: a concrete *probe.Buffer is the caller's own object, not
+// an interface hook; the analyzer leaves it alone.
+func concreteSink(b *probe.Buffer, e probe.Event) {
+	b.Emit(e)
+}

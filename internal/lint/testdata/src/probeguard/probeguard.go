@@ -1,0 +1,46 @@
+// Package probeguard is the punovet fixture for the probe contract: every
+// emission into a probe.Sink interface value must be dominated by a nil
+// check of that exact expression.
+package probeguard
+
+import (
+	"repro/internal/probe"
+)
+
+type traced struct {
+	sink  probe.Sink
+	other probe.Sink
+	n     int
+}
+
+// unguardedEmit is the nil-interface panic shape in its plain form.
+func unguardedEmit(t *traced, e probe.Event) {
+	t.sink.Emit(e) // want "not dominated by a nil check"
+}
+
+// wrongGuard checks one sink and emits on another — the disguised variant.
+func wrongGuard(t *traced, e probe.Event) {
+	if t.sink != nil {
+		t.other.Emit(e) // want "not dominated by a nil check"
+	}
+}
+
+// guardDoesNotEscapeClosure: the enclosing check does not dominate a
+// closure body, which may run when the check no longer holds.
+func guardDoesNotEscapeClosure(t *traced, e probe.Event) func() {
+	if t.sink == nil {
+		return nil
+	}
+	return func() {
+		t.sink.Emit(e) // want "not dominated by a nil check"
+	}
+}
+
+// guardLostAfterBody: an == nil check whose body does not return guards
+// nothing downstream.
+func guardLostAfterBody(t *traced, e probe.Event) {
+	if t.sink == nil {
+		t.n++
+	}
+	t.sink.Emit(e) // want "not dominated by a nil check"
+}

@@ -1,0 +1,59 @@
+// Package shardconfine is the punovet fixture for the PDES ownership
+// split: worker-path functions (//puno:worker) may touch only shard-local
+// state, interner lifecycle mutators belong to the serial edges, and the
+// Machine's shard wiring is written only by resetShard.
+package shardconfine
+
+import (
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/pdes"
+)
+
+// Machine mirrors the real machine's shard wiring.
+type Machine struct {
+	lo, hi int
+	xsend  func()
+	it     *mem.Interner
+	ownIt  *mem.Interner
+}
+
+// Env is the fixture's serial-edge owner.
+type Env struct {
+	it   *mem.Interner
+	mach *Machine
+}
+
+// shard is worker-local state; workers may do anything to it.
+type shard struct {
+	entries []uint64
+	nextAt  uint64
+	it      *mem.Interner
+}
+
+var sink int
+
+// workerTouchesCoordinator is the cross-shard race shape: a worker that
+// reaches the coordinator or the global mesh races every other shard.
+//
+//puno:worker
+func workerTouchesCoordinator(sh *shard, c *pdes.Coordinator, mesh *noc.Mesh) {
+	sink += len(c.LineTable()) // want "coordinator-owned"
+	sink += mesh.Nodes()       // want "coordinator-owned"
+	sh.it.Grow(64)             // want "outside the blessed serial edges"
+	sh.entries = sh.entries[:0]
+}
+
+// serialEdgeMutation is the same interner mutation outside any worker but
+// also outside the blessed serial-edge functions: still a finding.
+func serialEdgeMutation(it *mem.Interner) {
+	it.Reset()         // want "outside the blessed serial edges"
+	it.SetShared(true) // want "outside the blessed serial edges"
+}
+
+// rewireMidRun writes the Machine's shard wiring from the wrong place.
+func rewireMidRun(m *Machine) {
+	m.lo, m.hi = 0, 4 // want "shard wiring" "shard wiring"
+	m.xsend = nil     // want "shard wiring"
+	m.it = m.ownIt    // want "shard wiring"
+}

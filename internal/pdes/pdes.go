@@ -204,8 +204,8 @@ type shard struct {
 	sendN    int32 // == len(sends); the engine drain's external effect counter
 	traced   bool  // coordinator has an event sink; track emissions
 	xsend    func(*coherence.Msg)
-	work    chan sim.Time
-	done    chan struct{}
+	work     chan sim.Time
+	done     chan struct{}
 }
 
 // Coordinator owns a sharded machine: the shard set, the global mesh, the
@@ -547,6 +547,7 @@ func (c *Coordinator) Run() (*machine.Result, error) {
 // the shared interner through the machine's handlers).
 //
 //puno:hot
+//puno:worker
 func runWindow(sh *shard, wend sim.Time) {
 	if sh.traced {
 		runWindowTraced(sh, wend)
@@ -561,6 +562,8 @@ func runWindow(sh *shard, wend sim.Time) {
 // runWindowTraced is runWindow with staged-emission tracking: an event
 // that only emitted probe events still needs an entry so the merged
 // stream interleaves emissions in serial order.
+//
+//puno:worker
 func runWindowTraced(sh *shard, wend sim.Time) {
 	eng := sh.eng
 	emit := int32(sh.stage.Len())

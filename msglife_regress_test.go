@@ -1,0 +1,134 @@
+package puno
+
+// Regression tests for the invariant punovet's msglife analyzer
+// mechanizes: a pooled *coherence.Msg is freed the moment its handler
+// returns, so parking the pointer — instead of a by-value copy — aliases
+// the pool and is silently corrupted by later traffic. The first test
+// reintroduces the bug shape behind a test hook (an Env whose pool
+// recycles delivered messages, exactly the machine's contract) and shows
+// the symptom the determinism harness would flag: the parked view of a
+// message mutates between observations while a by-value copy stays put.
+// The second proves msglife reports every variant of the shape.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/lint"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// recycleEnv implements coherence.Env with a recycling message pool,
+// mirroring internal/machine's dispatcher: NewMsg pops the free list
+// without zeroing, Send stages the message in flight, and deliver returns
+// it to the pool — after which any retained pointer aliases pool storage.
+type recycleEnv struct {
+	now    sim.Time
+	pool   []*coherence.Msg
+	inFlit []*coherence.Msg
+}
+
+func (e *recycleEnv) Now() sim.Time { return e.now }
+
+func (e *recycleEnv) NewMsg() *coherence.Msg {
+	if n := len(e.pool); n > 0 {
+		m := e.pool[n-1]
+		e.pool = e.pool[:n-1]
+		return m
+	}
+	return new(coherence.Msg)
+}
+
+func (e *recycleEnv) Send(delay sim.Time, msg *coherence.Msg) {
+	e.inFlit = append(e.inFlit, msg)
+}
+
+// deliver completes every in-flight message's handler: the messages return
+// to the pool, and whatever parked their pointers is now aliasing it.
+func (e *recycleEnv) deliver() {
+	e.pool = append(e.pool, e.inFlit...)
+	e.inFlit = e.inFlit[:0]
+}
+
+func (e *recycleEnv) Interner() *mem.Interner { return nil }
+
+func (e *recycleEnv) LineData(l mem.Line, id mem.LineID) (mem.LineData, sim.Time) {
+	return mem.LineData{}, 1
+}
+
+func (e *recycleEnv) StoreLine(l mem.Line, id mem.LineID, d mem.LineData) {}
+
+// TestParkedByPointerCorruptsAcrossPoolReuse is the bug shape msglife
+// exists to catch, run to its observable symptom. A "tracer" parks the
+// directory's response by pointer; once the message is delivered and a
+// second, unrelated request recycles it, the parked view silently becomes
+// the second response. Any downstream consumer of the parked message now
+// disagrees with a by-value copy taken at park time — the run-to-run
+// divergence the determinism goldens and the trace differ would surface.
+func TestParkedByPointerCorruptsAcrossPoolReuse(t *testing.T) {
+	env := &recycleEnv{}
+	dir := coherence.NewDirectory(0, 4, env, nil)
+
+	dir.Handle(&coherence.Msg{
+		Type: coherence.MsgGETS, Line: mem.LineOf(0x1000),
+		Src: 1, Dst: 0, Requester: 1, ReqID: 41,
+	})
+	if len(env.inFlit) == 0 {
+		t.Fatal("directory sent nothing for a GETS")
+	}
+
+	parkedPtr := env.inFlit[0]  // the bug: retains the pooled pointer
+	parkedVal := *env.inFlit[0] // the contract: a by-value copy
+	env.deliver()               // handler returns; message goes back to the pool
+
+	dir.Handle(&coherence.Msg{
+		Type: coherence.MsgGETS, Line: mem.LineOf(0x2000),
+		Src: 2, Dst: 0, Requester: 2, ReqID: 99,
+	})
+
+	if *parkedPtr == parkedVal {
+		t.Fatal("pool did not recycle the delivered message; the regression harness lost its teeth")
+	}
+	if parkedPtr.ReqID != 99 || parkedPtr.Dst != 2 {
+		t.Errorf("parked pointer now reads ReqID=%d Dst=%d; expected it to alias the second response (ReqID=99 Dst=2)",
+			parkedPtr.ReqID, parkedPtr.Dst)
+	}
+	if parkedVal.ReqID != 41 || parkedVal.Dst != 1 {
+		t.Errorf("by-value copy mutated to ReqID=%d Dst=%d; copies must be immune to pool reuse",
+			parkedVal.ReqID, parkedVal.Dst)
+	}
+}
+
+// TestMsglifeFlagsParkedByPointer proves the analyzer catches the shape
+// the test above executes: every park-by-pointer variant in the msglife
+// fixture — field store, slice append, map store, package var, staged
+// composite, closure capture — is reported, and the by-value parks in the
+// clean half are not.
+func TestMsglifeFlagsParkedByPointer(t *testing.T) {
+	findings, err := lint.RunAnalyzers(".",
+		[]string{"repro/internal/lint/testdata/src/msglife"},
+		[]*lint.Analyzer{lint.MsgLife})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parked, captured int
+	for _, f := range findings {
+		if strings.HasSuffix(f.Pos.Filename, "clean.go") {
+			t.Errorf("msglife flagged the by-value fixture: %s:%d: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+		}
+		if strings.Contains(f.Message, "parked by pointer") {
+			parked++
+		}
+		if strings.Contains(f.Message, "captures pooled") {
+			captured++
+		}
+	}
+	if parked < 6 {
+		t.Errorf("msglife found %d parked-by-pointer stores in the fixture, want >= 6", parked)
+	}
+	if captured < 1 {
+		t.Errorf("msglife found %d closure captures in the fixture, want >= 1", captured)
+	}
+}
