@@ -2,7 +2,7 @@ GO ?= go
 BENCH ?= BenchmarkSweepParallelism
 BENCH_COUNT ?= 8
 
-.PHONY: all test lint race race-shards cover cover-update bench bench-pdes bench-baseline bench-compare bench-snapshot bench-snapshot-pdes golden clean
+.PHONY: all test lint race race-shards cover cover-update bench bench-pdes bench-serve bench-baseline bench-compare bench-snapshot bench-snapshot-pdes bench-snapshot-serve serve-smoke golden clean
 
 all: test
 
@@ -66,6 +66,21 @@ PDES_BENCHTIME ?= 10x
 bench-pdes:
 	$(GO) test -run '^$$' -bench '$(BENCH)/big-' -benchmem -benchtime $(PDES_BENCHTIME) -count 1 .
 
+# End-to-end punoserve smoke: boot the server on a free port, submit a job
+# over HTTP, long-poll it to completion, fetch the artifact and check it is
+# byte-identical to a direct in-process run of the same point, verify the
+# resubmission is a cache hit (run counter stays at 1), then drain
+# gracefully and check the profiles were flushed.
+serve-smoke:
+	$(GO) test -run 'ServeSmoke' -count 1 -v ./cmd/punoserve
+
+# The punoserve serving-path triple (cold miss / warm cache hit / 64-way
+# singleflight collapse) with allocation stats. SERVE_BENCHTIME keeps it a
+# smoke in CI; use bench-snapshot-serve to record the committed numbers.
+SERVE_BENCHTIME ?= 10x
+bench-serve:
+	$(GO) test -run '^$$' -bench 'Serve/' -benchmem -benchtime $(SERVE_BENCHTIME) -count 1 ./internal/serve
+
 # Record the current hot-path performance as the comparison baseline.
 # Run this on the commit you want to compare against, then make your
 # change and run bench-compare.
@@ -99,10 +114,16 @@ bench-snapshot-pdes:
 	$(GO) test -run '^$$' -bench '$(BENCH)/big-' -benchmem -count $(BENCH_COUNT) . | tee bench_pdes.txt
 	$(GO) run ./cmd/benchsnap -in bench_pdes.txt -out BENCH_sweep.json -pair -note '$(NOTE)'
 
+# Refresh the serve section (cold/warm/singleflight, with the cold/warm
+# speedup) in BENCH_sweep.json. Describe the run with NOTE=...
+bench-snapshot-serve:
+	$(GO) test -run '^$$' -bench 'Serve/' -benchmem -count $(BENCH_COUNT) ./internal/serve | tee bench_serve.txt
+	$(GO) run ./cmd/benchsnap -in bench_serve.txt -out BENCH_sweep.json -serve -note '$(NOTE)'
+
 # Regenerate the determinism golden files after an intentional change.
 golden:
 	$(GO) test -run Golden -update .
 
 clean:
 	$(GO) clean ./...
-	rm -f bench_base.txt bench_new.txt bench_snapshot.txt bench_pdes.txt cover.txt
+	rm -f bench_base.txt bench_new.txt bench_snapshot.txt bench_pdes.txt bench_serve.txt cover.txt

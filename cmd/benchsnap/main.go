@@ -52,16 +52,30 @@ type pair struct {
 	Speedup     float64 `json:"speedup"`
 }
 
+// serveSection records the punoserve serving-path benchmark triple: a cold
+// miss (full simulation), a warm content-addressed cache hit, and 64
+// concurrent identical submissions collapsing onto one flight. warm_speedup
+// is the cold/warm wall-clock ratio — the headline for the result cache.
+type serveSection struct {
+	Description  string  `json:"description"`
+	Note         string  `json:"note"`
+	Cold         entry   `json:"cold"`
+	Warm         entry   `json:"warm"`
+	Singleflight entry   `json:"singleflight"`
+	WarmSpeedup  float64 `json:"warm_speedup"`
+}
+
 type snapshot struct {
-	Benchmark     string      `json:"benchmark"`
-	Description   string      `json:"description"`
-	Machine       string      `json:"machine"`
-	Date          string      `json:"date"`
-	GoBenchFlags  string      `json:"go_bench_flags"`
-	Baseline      entry       `json:"baseline"`
-	Current       entry       `json:"current"`
-	Improvement   improvement `json:"improvement"`
-	SingleMachine *pair       `json:"single_machine,omitempty"`
+	Benchmark     string        `json:"benchmark"`
+	Description   string        `json:"description"`
+	Machine       string        `json:"machine"`
+	Date          string        `json:"date"`
+	GoBenchFlags  string        `json:"go_bench_flags"`
+	Baseline      entry         `json:"baseline"`
+	Current       entry         `json:"current"`
+	Improvement   improvement   `json:"improvement"`
+	SingleMachine *pair         `json:"single_machine,omitempty"`
+	Serve         *serveSection `json:"serve,omitempty"`
 }
 
 func main() {
@@ -81,6 +95,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		note  = fs.String("note", "", "description of the change recorded as the new current entry")
 		emit  = fs.String("emit", "", "print the named snapshot entry (baseline|current) in Go benchmark format and exit")
 		prs   = fs.Bool("pair", false, "update the single_machine section from a big-serial/big-sharded run instead of rotating baseline/current")
+		srv   = fs.Bool("serve", false, "update the serve section from a BenchmarkServe cold/warm/singleflight run instead of rotating baseline/current")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,6 +122,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *prs {
 		return updatePair(stdout, r, *out, *note)
+	}
+	if *srv {
+		return updateServe(stdout, r, *out, *note)
 	}
 	fresh, runs, err := parseBench(r, *bench)
 	if err != nil {
@@ -264,6 +282,57 @@ func updatePair(stdout io.Writer, r io.Reader, out, note string) error {
 	}
 	fmt.Fprintf(stdout, "%s: single_machine over %d runs: big-serial %d ns/op, big-sharded %d ns/op (speedup %.2fx)\n",
 		out, sRuns, serial.NsPerOp, sharded.NsPerOp, speedup)
+	return nil
+}
+
+// updateServe rewrites the snapshot's serve section from a run of the
+// three-leg BenchmarkServe (internal/serve): cold miss, warm cache hit, and
+// the 64-client singleflight collapse.
+func updateServe(stdout io.Writer, r io.Reader, out, note string) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	legs := make(map[string]entry, 3)
+	runs := 0
+	for _, leg := range []string{"cold", "warm", "singleflight"} {
+		e, n, err := parseBench(strings.NewReader(string(data)), "BenchmarkServe/"+leg)
+		if err != nil {
+			return err
+		}
+		legs[leg] = e
+		runs = n
+	}
+	snap, err := load(out)
+	if err != nil {
+		return err
+	}
+	speedup := 0.0
+	if legs["warm"].NsPerOp > 0 {
+		speedup = math.Round(float64(legs["cold"].NsPerOp)/float64(legs["warm"].NsPerOp)*10) / 10
+	}
+	cold, warm, single := legs["cold"], legs["warm"], legs["singleflight"]
+	cold.Note = "cold leg: fresh key per op — full simulation through the worker pool"
+	warm.Note = "warm leg: primed key — content-addressed cache hit, simulator untouched"
+	single.Note = "singleflight leg: 64 concurrent identical submissions per op, exactly one simulation"
+	snap.Serve = &serveSection{
+		Description:  "punoserve serving paths on one kmeans/2-tx point (BenchmarkServe, internal/serve). warm_speedup = cold/warm ns per op; the singleflight leg asserts 64 concurrent identical submissions run one simulation.",
+		Note:         note,
+		Cold:         cold,
+		Warm:         warm,
+		Singleflight: single,
+		WarmSpeedup:  speedup,
+	}
+	snap.Date = time.Now().Format("2006-01-02")
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: serve over %d runs: cold %d ns/op, warm %d ns/op, singleflight %d ns/op (warm speedup %.1fx)\n",
+		out, runs, cold.NsPerOp, warm.NsPerOp, single.NsPerOp, speedup)
 	return nil
 }
 

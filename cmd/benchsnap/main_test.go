@@ -189,3 +189,66 @@ func TestPairUpdatesSingleMachine(t *testing.T) {
 		t.Fatalf("pair with empty note: err = %v", err)
 	}
 }
+
+const sampleServeBench = `goos: linux
+pkg: repro/internal/serve
+BenchmarkServe/cold-4         	     100	   480000 ns/op	  125000 B/op	    1070 allocs/op
+BenchmarkServe/cold-4         	     100	   520000 ns/op	  125002 B/op	    1072 allocs/op
+BenchmarkServe/warm-4         	  500000	     2000 ns/op	    3200 B/op	      26 allocs/op
+BenchmarkServe/warm-4         	  500000	     2000 ns/op	    3200 B/op	      26 allocs/op
+BenchmarkServe/singleflight-4 	     100	   940000 ns/op	  360000 B/op	    3150 allocs/op
+BenchmarkServe/singleflight-4 	     100	   940000 ns/op	  360000 B/op	    3150 allocs/op
+PASS
+`
+
+// TestServeUpdatesServeSection: -serve averages the three BenchmarkServe
+// legs, stores them with the cold/warm speedup, and leaves the
+// baseline/current rotation untouched.
+func TestServeUpdatesServeSection(t *testing.T) {
+	_, snapPath := writeFixtures(t)
+	servePath := filepath.Join(filepath.Dir(snapPath), "serve.txt")
+	if err := os.WriteFile(servePath, []byte(sampleServeBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-in", servePath, "-out", snapPath, "-serve", "-note", "result cache"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Serve == nil {
+		t.Fatal("serve section missing")
+	}
+	if s.Serve.Cold.NsPerOp != 500000 || s.Serve.Warm.NsPerOp != 2000 || s.Serve.Singleflight.NsPerOp != 940000 {
+		t.Fatalf("serve legs: %+v", s.Serve)
+	}
+	if s.Serve.WarmSpeedup != 250.0 {
+		t.Fatalf("warm speedup = %v, want 250.0", s.Serve.WarmSpeedup)
+	}
+	if s.Serve.Note != "result cache" {
+		t.Fatalf("note = %q", s.Serve.Note)
+	}
+	if s.Serve.Cold.Note == "" || s.Serve.Warm.Note == "" || s.Serve.Singleflight.Note == "" {
+		t.Fatal("serve leg notes empty")
+	}
+	if s.Current.Note != "pooled" || s.Baseline.Note != "seed" {
+		t.Fatal("serve update disturbed the baseline/current rotation")
+	}
+	if !strings.Contains(out.String(), "warm speedup 250.0x") {
+		t.Fatalf("summary output: %q", out.String())
+	}
+	// -serve with an empty note must refuse like a rotation does.
+	if err := run([]string{"-in", servePath, "-out", snapPath, "-serve"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-note is empty") {
+		t.Fatalf("serve with empty note: err = %v", err)
+	}
+	// Missing legs are an error, not a zero-filled section.
+	if err := run([]string{"-in", filepath.Join(filepath.Dir(snapPath), "bench.txt"), "-out", snapPath, "-serve", "-note", "x"}, &out, &errb); err == nil {
+		t.Fatal("serve update without BenchmarkServe lines succeeded")
+	}
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// lineWriter forwards writes to a builder and announces the listen address
+// parsed from the server's banner line.
+type lineWriter struct {
+	mu    sync.Mutex
+	buf   strings.Builder
+	addr  chan string
+	found bool
+}
+
+func newLineWriter() *lineWriter { return &lineWriter{addr: make(chan string, 1)} }
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.found {
+		if _, after, ok := strings.Cut(w.buf.String(), "http://"); ok {
+			if host, _, ok := strings.Cut(after, " "); ok {
+				w.found = true
+				w.addr <- host
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (w *lineWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestServeSmoke is the end-to-end server exercise: boot on a free port,
+// submit, poll to completion, fetch the artifact and compare it byte for
+// byte against a direct in-process simulation, verify the resubmission is
+// a cache hit (no second simulation), then shut down gracefully and check
+// the drain summary and flushed profiles.
+func TestServeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	out := newLineWriter()
+	var errb strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-cache-dir", filepath.Join(dir, "cache"),
+			"-codeversion", "smoke",
+			"-cpuprofile", cpu,
+			"-memprofile", mem,
+		}, out, &errb)
+	}()
+	base := "http://" + <-out.addr
+
+	spec := `{"workload":"kmeans","tx_per_cpu":2,"seed":77}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		Key   string `json:"key"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		r, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.StatusCode, data
+	}
+
+	code, body := get("/v1/jobs/" + job.ID + "?wait=1")
+	if code != http.StatusOK || !strings.Contains(string(body), `"done"`) {
+		t.Fatalf("poll: status %d, body %s", code, body)
+	}
+	code, artifact := get("/v1/jobs/" + job.ID + "/result")
+	if code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+
+	// Byte-identical to running the same point directly in this process.
+	wl, err := puno.WorkloadByName("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := puno.DefaultConfig()
+	cfg.Seed = 77
+	direct, err := puno.Run(cfg, wl.WithTxPerCPU(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := puno.EncodeResult(direct.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(artifact, want) {
+		t.Fatal("served artifact differs from a direct run's encoding")
+	}
+
+	// Resubmission hits the cache: terminal at submit time, still 1 run.
+	resp2, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job2 struct {
+		State  string `json:"state"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&job2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || !job2.Cached || job2.State != "done" {
+		t.Fatalf("resubmission: status %d, %+v", resp2.StatusCode, job2)
+	}
+	code, statsBody := get("/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	var st struct {
+		Runs  uint64 `json:"runs"`
+		Cache struct {
+			Hits uint64 `json:"hits"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(statsBody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 1 {
+		t.Fatalf("runs = %d after a submit and a cache hit", st.Runs)
+	}
+	if st.Cache.Hits == 0 {
+		t.Fatal("cache hit counter did not advance")
+	}
+
+	// Graceful drain: clean exit, drain summary, non-empty profiles.
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("server exit: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "drained: runs=1") {
+		t.Fatalf("drain summary missing:\n%s", out.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errb strings.Builder
+	ctx := context.Background()
+	if err := run(ctx, []string{"-nosuch"}, &out, &errb); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run(ctx, []string{"-addr", "999.999.999.999:1"}, &out, &errb); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

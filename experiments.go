@@ -44,19 +44,25 @@ type RunSpec struct {
 	Workload Workload
 }
 
-// runArena is one worker's reusable simulation machine: the first run
-// builds it, later runs Reset it in place, so a long sweep pays machine
+// Arena is one worker's reusable simulation machine: the first run builds
+// it, later runs Reset it in place, so a long sweep pays machine
 // construction (caches, directory pools, event-queue slabs) once per worker
 // instead of once per sweep point. Serial and sharded (PDES) runs keep
-// separate arenas, since a sweep may mix shardable and fallback specs.
-type runArena struct {
+// separate arenas, since a caller may mix shardable and fallback specs.
+// Results are identical to fresh construction — Machine.Reset and New share
+// one code path. An Arena is not safe for concurrent use; long-lived pools
+// (punoserve) keep one per worker goroutine, exactly as RunSpecs does.
+type Arena struct {
 	m  *Machine
 	co *pdes.Coordinator
 }
 
-// run executes one spec on the arena and returns a deep copy of the
-// result (the machine's Result is reused by the next run).
-func (a *runArena) run(sp RunSpec) (*Result, error) {
+// NewArena returns an empty arena; the first Run populates it.
+func NewArena() *Arena { return &Arena{} }
+
+// Run executes one spec on the arena and returns a deep copy of the
+// result (the machine's internal Result is reused by the next run).
+func (a *Arena) Run(sp RunSpec) (*Result, error) {
 	var err error
 	if pdes.Eligible(sp.Config, sp.Workload) {
 		if a.co == nil {
@@ -117,10 +123,10 @@ func RunSpecs(ctx context.Context, specs []RunSpec, opts SweepOptions) ([]*Resul
 		},
 	}
 	return runner.MapWorkers(ctx, len(specs), ropts,
-		func(int) *runArena { return &runArena{} },
-		func(_ context.Context, i int, a *runArena) (*Result, error) {
+		func(int) *Arena { return NewArena() },
+		func(_ context.Context, i int, a *Arena) (*Result, error) {
 			sp := specs[i]
-			res, err := a.run(sp)
+			res, err := a.Run(sp)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%v (seed %d): %w",
 					sp.Workload.Name(), sp.Config.Scheme, sp.Config.Seed, err)

@@ -56,6 +56,13 @@ var auditedPkgs = map[string]bool{
 	"repro/internal/cache":     true,
 	"repro/internal/mem":       true,
 	"repro/internal/pdes":      true,
+	// The serving layer is host-side, but its whole correctness story is
+	// that cached results are provably fresh because simulation is
+	// deterministic: a wall-clock read or map iteration feeding a cache
+	// key, an artifact encoding, or an eviction decision would break
+	// content addressing the same way it would break a simulation. Its
+	// //puno:hot lookup path is also under the escape gate.
+	"repro/internal/serve": true,
 }
 
 // noSuppressPkgs are packages where //puno:unordered and //puno:allow are

@@ -199,6 +199,18 @@ func TestPdesEnrollment(t *testing.T) {
 	checkFindings(t, findings, parseWants(t, pkg))
 }
 
+// TestServeEnrollment pins internal/serve into punovet's audited set: the
+// serving layer's content-addressed cache is only sound while simulation
+// stays deterministic, so its key derivation, artifact encoding, and
+// eviction logic are held to the simulator's bar — no wall-clock reads, no
+// map-iteration-order dependence — and its hot cache-lookup path sits
+// under the escape gate.
+func TestServeEnrollment(t *testing.T) {
+	if !audited("repro/internal/serve") {
+		t.Error("repro/internal/serve is not in punovet's audited set")
+	}
+}
+
 // TestRealTreeClean is the acceptance gate: the repository's own simulation
 // packages carry zero findings, and the no-suppression core (sim, noc,
 // machine) carries zero //puno: suppressions.

@@ -1,0 +1,97 @@
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Canonical configuration encoding: the deterministic byte rendering of a
+// Config that content-addressed result caching hashes. Two Configs that
+// would produce the same simulation trajectory encode identically, and any
+// field that can change a Result changes the bytes. The encoding is
+// versioned ("punocfg/1"): adding a Config field that influences results
+// must extend encodeCanonical and bump the version, which rotates every
+// cache key — exactly the safe failure mode, since a stale key can never
+// alias a run with different semantics.
+//
+// Two deliberate exclusions:
+//
+//   - Shards is an execution strategy, not an observable: the PDES
+//     coordinator's contract (certified by determinism_shards_test.go) is
+//     bit-identical Results for any shard count, so including it would
+//     only fragment the cache across equivalent runs.
+//   - TraceFn and EventSink are host-side observation hooks. They carry no
+//     canonical byte form, and a run with a sink is cycle-identical to one
+//     without, so AppendCanonical refuses configs that set them rather
+//     than silently dropping live state from the key.
+const cfgMagic = "punocfg/1"
+
+// AppendCanonical appends the canonical binary encoding of c to dst and
+// returns the extended slice. It fails when c carries non-encodable live
+// state (TraceFn, EventSink) — callers building cache keys must hash pure
+// parameter sets.
+func (c *Config) AppendCanonical(dst []byte) ([]byte, error) {
+	if c.TraceFn != nil {
+		return nil, fmt.Errorf("machine: config with TraceFn set has no canonical encoding")
+	}
+	if c.EventSink != nil {
+		return nil, fmt.Errorf("machine: config with EventSink set has no canonical encoding")
+	}
+	b := append(dst, cfgMagic...)
+	u := func(v uint64) { b = binary.AppendUvarint(b, v) }
+	i := func(v int) { b = binary.AppendUvarint(b, uint64(int64(v))) }
+	flag := func(v bool) {
+		if v {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	i(c.Nodes)
+	i(c.Mesh.Width)
+	i(c.Mesh.Height)
+	u(uint64(c.Mesh.RouterStages))
+	u(uint64(c.Mesh.LinkCycles))
+	u(uint64(c.Mesh.LocalCycles))
+	i(c.L1.SizeBytes)
+	i(c.L1.Ways)
+	u(uint64(c.L1HitLatency))
+	u(uint64(c.L2HitLatency))
+	u(uint64(c.MemLatency))
+	u(uint64(c.Costs.BeginCycles))
+	u(uint64(c.Costs.CommitCycles))
+	u(uint64(c.Costs.AbortFixed))
+	u(uint64(c.Costs.AbortPerEntry))
+	u(uint64(c.Costs.OverflowCycles))
+	i(int(c.Scheme))
+	u(uint64(c.BusyRetryDelay))
+	u(uint64(c.BusyRetryJitter))
+	u(uint64(c.DirOccupancy))
+	u(uint64(c.L1Occupancy))
+	i(c.TxLBEntries)
+	i(c.SignatureBits)
+	u(uint64(c.FixedValidityTimeout))
+	flag(c.DisableValidity)
+	i(c.ValidityTimeoutMult)
+	u(uint64(c.NotifyGuardOverride))
+	u(uint64(c.NotifyMaxWait))
+	u(uint64(c.MaxCycles))
+	u(c.Seed)
+	u(uint64(c.SampleInterval))
+	return b, nil
+}
+
+// SchemeByName resolves a case-insensitive scheme name (the String()
+// renderings: "Baseline", "Backoff", "RMW-Pred", "PUNO", …) to its Scheme
+// value, with an error listing the valid names on a miss.
+func SchemeByName(name string) (Scheme, error) {
+	names := make([]string, 0, int(numSchemes))
+	for s := Scheme(0); s < numSchemes; s++ {
+		if strings.EqualFold(s.String(), name) {
+			return s, nil
+		}
+		names = append(names, s.String())
+	}
+	return 0, fmt.Errorf("machine: unknown scheme %q (have %s)", name, strings.Join(names, ", "))
+}

@@ -1,0 +1,303 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/fnv"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/probe"
+	"repro/internal/sim"
+)
+
+// codecResult runs a small contended workload (timeline sampling on, so
+// every Result field family is populated) and returns the arena-independent
+// clone the cache would store.
+func codecResult(t *testing.T, seed uint64) *Result {
+	t.Helper()
+	cfg := smallConfig(SchemePUNO, seed)
+	cfg.SampleInterval = 5_000
+	wl := counterWorkload{name: "codec", txPerCPU: 6, counters: 4, incrsPer: 3, think: 50}
+	_, res := runWorkload(t, cfg, wl)
+	return res.Clone()
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	res := codecResult(t, 7)
+	if res.Aborts == 0 || len(res.Timeline) == 0 || len(res.FalseAbortHist) == 0 {
+		t.Fatalf("fixture run too tame to exercise the codec: %+v", res)
+	}
+	raw, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("decode(encode(r)) != r\n got %+v\nwant %+v", got, res)
+	}
+}
+
+// Encoding a synthetic Result with every field family explicitly nonzero
+// (including fields a short run can leave at zero) must round-trip exactly.
+func TestResultRoundTripSynthetic(t *testing.T) {
+	res := &Result{
+		Workload:        "synthetic",
+		Scheme:          SchemeATS,
+		Cycles:          1 << 40,
+		Commits:         3,
+		Aborts:          5,
+		AbortsByCause:   [numCauses]uint64{1, 2, 3, 4},
+		TxGETXIssued:    9,
+		TxGETXAccesses:  8,
+		GETXOutcomes:    [numOutcomes]uint64{10, 11, 12, 13},
+		FalseAbortHist:  []uint64{0, 2, 0, 1},
+		GoodCycles:      100,
+		DiscardedCycles: 200,
+		DirTxGETXBusy:   14, DirTxGETXServices: 15,
+		DirBusyAll: 16, DirBusyNacks: 17,
+		DirUnicasts: 18, DirMulticastFwds: 19,
+		Mispredictions: 20,
+		Nacks:          21, Retries: 22,
+		BackoffCycles: 23, RestartWaitCycle: 24, NotifiedBackoffs: 25,
+		PerNodeCommits: []uint64{1, 0, 2},
+		PerNodeAborts:  []uint64{0, 4, 0},
+		Timeline: []Sample{
+			{Cycle: 100, Commits: 1, Aborts: 2, Traffic: 3, LiveTxs: 4},
+			{Cycle: 200, Commits: 5, Aborts: 6, Traffic: 7, LiveTxs: 0},
+		},
+	}
+	for c := range res.Net.Messages {
+		res.Net.Messages[c] = uint64(30 + c)
+		res.Net.Flits[c] = uint64(40 + c)
+		res.Net.RouterTraversal[c] = uint64(50 + c)
+	}
+	res.Net.TotalLatency = 60
+	res.Net.QueueingDelay = 61
+	raw, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("synthetic round trip mismatch\n got %+v\nwant %+v", got, res)
+	}
+}
+
+// The encoding must be byte-stable: two independent in-process runs of the
+// same (config, workload, seed) point encode to identical bytes. This is
+// the property that lets the result cache prove freshness by construction.
+func TestResultEncodingByteStable(t *testing.T) {
+	a, err := EncodeResult(codecResult(t, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeResult(codecResult(t, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two runs of the same point encoded differently (%d vs %d bytes)", len(a), len(b))
+	}
+	c, err := EncodeResult(codecResult(t, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds encoded identically")
+	}
+}
+
+func TestResultTruncationDetected(t *testing.T) {
+	raw, err := EncodeResult(codecResult(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := DecodeResult(raw[:cut]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded without error", cut, len(raw))
+		}
+	}
+}
+
+func TestResultCorruptionDetected(t *testing.T) {
+	raw, err := EncodeResult(codecResult(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x41
+		if _, err := DecodeResult(mut); err == nil {
+			t.Fatalf("flipping byte %d of %d decoded without error", i, len(raw))
+		}
+	}
+	if _, err := DecodeResult(append(raw, 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestEncodeResultRejectsInvalid(t *testing.T) {
+	if _, err := EncodeResult(&Result{Scheme: numSchemes}); err == nil {
+		t.Fatal("out-of-range scheme encoded")
+	}
+	if _, err := EncodeResult(&Result{PerNodeCommits: []uint64{1}}); err == nil {
+		t.Fatal("mismatched per-node slices encoded")
+	}
+	if _, err := EncodeResult(&Result{Timeline: []Sample{{LiveTxs: -1}}}); err == nil {
+		t.Fatal("negative live-tx count encoded")
+	}
+}
+
+// artifact builds a checksum-valid punores/1 body by hand, for probing the
+// decoder's structural checks (which sit behind the checksum gate).
+func artifact(build func(u func(uint64), raw func(...byte))) []byte {
+	b := []byte(resMagic)
+	build(
+		func(v uint64) { b = binary.AppendUvarint(b, v) },
+		func(p ...byte) { b = append(b, p...) },
+	)
+	h := fnv.New32a()
+	h.Write(b)
+	return h.Sum(b)
+}
+
+func TestDecodeResultRejectsFormatDrift(t *testing.T) {
+	cases := map[string][]byte{
+		"unknown scheme": artifact(func(u func(uint64), raw func(...byte)) {
+			u(1)
+			raw('w')
+			u(uint64(numSchemes)) // scheme beyond this build's range
+			u(0)                  // cycles — truncation after this is fine; scheme check must fire first on full decode
+		}),
+		"wrong cause count": artifact(func(u func(uint64), raw func(...byte)) {
+			u(1)
+			raw('w')
+			u(0) // scheme
+			u(0) // cycles
+			u(0) // commits
+			u(0) // aborts
+			u(uint64(numCauses + 1))
+		}),
+		"implausible hist length": artifact(func(u func(uint64), raw func(...byte)) {
+			u(1)
+			raw('w')
+			u(0) // scheme
+			u(0) // cycles
+			u(0) // commits
+			u(0) // aborts
+			u(uint64(numCauses))
+			for i := 0; i < int(numCauses); i++ {
+				u(0)
+			}
+			u(0) // txGETXIssued
+			u(0) // txGETXAccesses
+			u(uint64(numOutcomes))
+			for i := 0; i < int(numOutcomes); i++ {
+				u(0)
+			}
+			u(1 << 30) // hist length far past the plausibility bound
+		}),
+		"bad magic": append([]byte("punores/9"), make([]byte, 8)...),
+	}
+	for name, raw := range cases {
+		if _, err := DecodeResult(raw); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestConfigCanonicalDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = SchemePUNO
+	cfg.Seed = 42
+	a, err := cfg.AppendCanonical(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.AppendCanonical(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same config encoded differently across calls")
+	}
+	if !bytes.HasPrefix(a, []byte(cfgMagic)) {
+		t.Fatalf("canonical encoding does not start with %q", cfgMagic)
+	}
+
+	// Every result-influencing knob must move the bytes.
+	mutations := map[string]func(*Config){
+		"Seed":            func(c *Config) { c.Seed++ },
+		"Scheme":          func(c *Config) { c.Scheme = SchemeBackoff },
+		"Nodes":           func(c *Config) { c.Nodes = 64; c.Mesh.Width = 8; c.Mesh.Height = 8 },
+		"MemLatency":      func(c *Config) { c.MemLatency += 10 },
+		"SignatureBits":   func(c *Config) { c.SignatureBits = 512 },
+		"DisableValidity": func(c *Config) { c.DisableValidity = true },
+		"BusyRetryDelay":  func(c *Config) { c.BusyRetryDelay++ },
+		"SampleInterval":  func(c *Config) { c.SampleInterval = 1000 },
+		"MaxCycles":       func(c *Config) { c.MaxCycles++ },
+		"L1 size":         func(c *Config) { c.L1.SizeBytes *= 2 },
+		"TxLBEntries":     func(c *Config) { c.TxLBEntries++ },
+	}
+	for name, mutate := range mutations {
+		mc := cfg
+		mutate(&mc)
+		got, err := mc.AppendCanonical(nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if bytes.Equal(a, got) {
+			t.Errorf("mutating %s did not change the canonical encoding", name)
+		}
+	}
+
+	// Shards is an execution strategy (bit-identical results certified by
+	// the PDES determinism suite), so it must NOT move the bytes.
+	sc := cfg
+	sc.Shards = 4
+	got, err := sc.AppendCanonical(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, got) {
+		t.Error("Shards changed the canonical encoding; equivalent runs would fragment the cache")
+	}
+}
+
+func TestConfigCanonicalRefusesLiveState(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TraceFn = func(sim.Time, int, string) {}
+	if _, err := cfg.AppendCanonical(nil); err == nil {
+		t.Fatal("config with TraceFn encoded")
+	}
+	cfg = DefaultConfig()
+	cfg.EventSink = &probe.Buffer{}
+	if _, err := cfg.AppendCanonical(nil); err == nil {
+		t.Fatal("config with EventSink encoded")
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	for s := Scheme(0); s < numSchemes; s++ {
+		got, err := SchemeByName(strings.ToUpper(s.String()))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if got != s {
+			t.Fatalf("SchemeByName(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+	if _, err := SchemeByName("no-such-scheme"); err == nil {
+		t.Fatal("unknown scheme name resolved")
+	} else if !strings.Contains(err.Error(), "PUNO") {
+		t.Fatalf("miss error does not list valid names: %v", err)
+	}
+}

@@ -1,0 +1,281 @@
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/sim"
+)
+
+// punores/1 is the deterministic binary round-trip encoding of a Result —
+// the artifact format of the content-addressed result cache (internal/
+// serve). It follows the punoevt/1 conventions: a version magic, uvarint
+// framing for every quantity, explicit array-length prefixes (so a future
+// cause/outcome/class added to the model is a detected format change, not
+// a silent misparse), and a trailing FNV-32a checksum over everything
+// before it, verified before any field is decoded. Truncation, bit
+// corruption, and trailing garbage all fail loudly.
+//
+// Layout (after the magic, everything uvarint unless noted):
+//
+//	magic   "punores/1"                      9 bytes
+//	uvarint len(workload), workload bytes
+//	uvarint scheme                           (< numSchemes)
+//	uvarint cycles, commits, aborts
+//	uvarint cause count C,   C × count       (C must equal numCauses)
+//	uvarint txGETXIssued, txGETXAccesses
+//	uvarint outcome count O, O × count       (O must equal numOutcomes)
+//	uvarint len(falseAbortHist), values
+//	uvarint goodCycles, discardedCycles
+//	uvarint net class count K, K × {messages, flits, traversals}
+//	uvarint netTotalLatency, netQueueingDelay
+//	uvarint 7 directory counters, 5 requester counters
+//	uvarint node count N, N × perNodeCommits, N × perNodeAborts
+//	uvarint len(timeline), samples × {cycle, commits, aborts, traffic, liveTxs}
+//	fnv32a  checksum over all preceding bytes, 4 bytes big-endian
+//
+// The encoding is canonical: one Result has exactly one byte rendering, so
+// byte equality of encodings is value equality of Results — the property
+// the serve smoke test leans on when it compares a cache-served artifact
+// against a direct simulation run.
+const resMagic = "punores/1"
+
+// EncodeResult renders r in the punores/1 binary format.
+func EncodeResult(r *Result) ([]byte, error) { return AppendResult(nil, r) }
+
+// AppendResult appends the punores/1 encoding of r (magic through
+// checksum) to dst and returns the extended slice.
+func AppendResult(dst []byte, r *Result) ([]byte, error) {
+	if int(r.Scheme) < 0 || r.Scheme >= numSchemes {
+		return nil, fmt.Errorf("machine: result has invalid scheme %d", int(r.Scheme))
+	}
+	if len(r.PerNodeCommits) != len(r.PerNodeAborts) {
+		return nil, fmt.Errorf("machine: result per-node slices disagree (%d commits, %d aborts)",
+			len(r.PerNodeCommits), len(r.PerNodeAborts))
+	}
+	b := append(dst, resMagic...)
+	u := func(v uint64) { b = binary.AppendUvarint(b, v) }
+	u(uint64(len(r.Workload)))
+	b = append(b, r.Workload...)
+	u(uint64(r.Scheme))
+	u(uint64(r.Cycles))
+	u(r.Commits)
+	u(r.Aborts)
+	u(uint64(len(r.AbortsByCause)))
+	for _, c := range r.AbortsByCause {
+		u(c)
+	}
+	u(r.TxGETXIssued)
+	u(r.TxGETXAccesses)
+	u(uint64(len(r.GETXOutcomes)))
+	for _, c := range r.GETXOutcomes {
+		u(c)
+	}
+	u(uint64(len(r.FalseAbortHist)))
+	for _, c := range r.FalseAbortHist {
+		u(c)
+	}
+	u(r.GoodCycles)
+	u(r.DiscardedCycles)
+	u(uint64(len(r.Net.Messages)))
+	for c := range r.Net.Messages {
+		u(r.Net.Messages[c])
+		u(r.Net.Flits[c])
+		u(r.Net.RouterTraversal[c])
+	}
+	u(r.Net.TotalLatency)
+	u(r.Net.QueueingDelay)
+	u(r.DirTxGETXBusy)
+	u(r.DirTxGETXServices)
+	u(r.DirBusyAll)
+	u(r.DirBusyNacks)
+	u(r.DirUnicasts)
+	u(r.DirMulticastFwds)
+	u(r.Mispredictions)
+	u(r.Nacks)
+	u(r.Retries)
+	u(r.BackoffCycles)
+	u(r.RestartWaitCycle)
+	u(r.NotifiedBackoffs)
+	u(uint64(len(r.PerNodeCommits)))
+	for _, c := range r.PerNodeCommits {
+		u(c)
+	}
+	for _, c := range r.PerNodeAborts {
+		u(c)
+	}
+	u(uint64(len(r.Timeline)))
+	for _, s := range r.Timeline {
+		if s.LiveTxs < 0 {
+			return nil, fmt.Errorf("machine: timeline sample has negative live-tx count %d", s.LiveTxs)
+		}
+		u(uint64(s.Cycle))
+		u(s.Commits)
+		u(s.Aborts)
+		u(s.Traffic)
+		u(uint64(s.LiveTxs))
+	}
+	h := fnv.New32a()
+	h.Write(b[len(dst):])
+	return h.Sum(b), nil
+}
+
+// DecodeResult decodes one complete punores/1 artifact. The trailing
+// checksum is verified before decoding, so truncated and corrupted
+// artifacts are rejected rather than yielding a plausible partial Result.
+func DecodeResult(raw []byte) (*Result, error) {
+	if len(raw) < len(resMagic)+4 {
+		return nil, fmt.Errorf("machine: result artifact truncated (%d bytes)", len(raw))
+	}
+	if string(raw[:len(resMagic)]) != resMagic {
+		return nil, fmt.Errorf("machine: bad result magic %q (want %q)", raw[:len(resMagic)], resMagic)
+	}
+	body, sum := raw[:len(raw)-4], raw[len(raw)-4:]
+	h := fnv.New32a()
+	h.Write(body)
+	if got := h.Sum32(); got != binary.BigEndian.Uint32(sum) {
+		return nil, fmt.Errorf("machine: result checksum mismatch (artifact truncated or corrupted)")
+	}
+	d := resDecoder{buf: body[len(resMagic):]}
+	r := &Result{}
+	r.Workload = d.str("workload")
+	scheme := d.u("scheme")
+	r.Cycles = sim.Time(d.u("cycles"))
+	r.Commits = d.u("commits")
+	r.Aborts = d.u("aborts")
+	if n := d.count("cause count", uint64(len(r.AbortsByCause))); d.err == nil && n != len(r.AbortsByCause) {
+		return nil, fmt.Errorf("machine: result encodes %d abort causes, this build has %d (format drift)",
+			n, len(r.AbortsByCause))
+	}
+	for i := range r.AbortsByCause {
+		r.AbortsByCause[i] = d.u("cause")
+	}
+	r.TxGETXIssued = d.u("txGETXIssued")
+	r.TxGETXAccesses = d.u("txGETXAccesses")
+	if n := d.count("outcome count", uint64(len(r.GETXOutcomes))); d.err == nil && n != len(r.GETXOutcomes) {
+		return nil, fmt.Errorf("machine: result encodes %d GETX outcomes, this build has %d (format drift)",
+			n, len(r.GETXOutcomes))
+	}
+	for i := range r.GETXOutcomes {
+		r.GETXOutcomes[i] = d.u("outcome")
+	}
+	nHist := d.count("hist length", 1<<20)
+	r.FalseAbortHist = make([]uint64, nHist)
+	for i := range r.FalseAbortHist {
+		r.FalseAbortHist[i] = d.u("hist bucket")
+	}
+	r.GoodCycles = d.u("goodCycles")
+	r.DiscardedCycles = d.u("discardedCycles")
+	if n := d.count("net class count", uint64(len(r.Net.Messages))); d.err == nil && n != len(r.Net.Messages) {
+		return nil, fmt.Errorf("machine: result encodes %d network classes, this build has %d (format drift)",
+			n, len(r.Net.Messages))
+	}
+	for c := range r.Net.Messages {
+		r.Net.Messages[c] = d.u("net messages")
+		r.Net.Flits[c] = d.u("net flits")
+		r.Net.RouterTraversal[c] = d.u("net traversals")
+	}
+	r.Net.TotalLatency = d.u("net latency")
+	r.Net.QueueingDelay = d.u("net queueing")
+	r.DirTxGETXBusy = d.u("dirTxGETXBusy")
+	r.DirTxGETXServices = d.u("dirTxGETXServices")
+	r.DirBusyAll = d.u("dirBusyAll")
+	r.DirBusyNacks = d.u("dirBusyNacks")
+	r.DirUnicasts = d.u("dirUnicasts")
+	r.DirMulticastFwds = d.u("dirMulticastFwds")
+	r.Mispredictions = d.u("mispredictions")
+	r.Nacks = d.u("nacks")
+	r.Retries = d.u("retries")
+	r.BackoffCycles = d.u("backoffCycles")
+	r.RestartWaitCycle = d.u("restartWaitCycle")
+	r.NotifiedBackoffs = d.u("notifiedBackoffs")
+	nNodes := d.count("node count", 1<<20)
+	if nNodes > 0 {
+		r.PerNodeCommits = make([]uint64, nNodes)
+		r.PerNodeAborts = make([]uint64, nNodes)
+		for i := range r.PerNodeCommits {
+			r.PerNodeCommits[i] = d.u("per-node commits")
+		}
+		for i := range r.PerNodeAborts {
+			r.PerNodeAborts[i] = d.u("per-node aborts")
+		}
+	}
+	nSamples := d.count("timeline length", 1<<32)
+	if nSamples > 0 {
+		r.Timeline = make([]Sample, nSamples)
+		for i := range r.Timeline {
+			r.Timeline[i] = Sample{
+				Cycle:   sim.Time(d.u("sample cycle")),
+				Commits: d.u("sample commits"),
+				Aborts:  d.u("sample aborts"),
+				Traffic: d.u("sample traffic"),
+			}
+			live := d.u("sample live txs")
+			if d.err == nil && live > 1<<20 {
+				return nil, fmt.Errorf("machine: timeline sample %d has implausible live-tx count %d", i, live)
+			}
+			r.Timeline[i].LiveTxs = int(live)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if scheme >= uint64(numSchemes) {
+		return nil, fmt.Errorf("machine: result encodes unknown scheme %d", scheme)
+	}
+	r.Scheme = Scheme(scheme)
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("machine: %d trailing bytes after result artifact", len(d.buf))
+	}
+	return r, nil
+}
+
+// resDecoder is a cursor over the checksummed body; the first framing
+// error sticks and every later read is a no-op, so the decode sequence
+// above needs one check at the end.
+type resDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *resDecoder) u(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("machine: result artifact truncated reading %s", what)
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *resDecoder) str(what string) string {
+	n := d.u(what + " length")
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("machine: result artifact truncated reading %s (%d bytes claimed, %d left)",
+			what, n, len(d.buf))
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+// count reads a length prefix and bounds it (corrupt counts would
+// otherwise drive huge allocations before the per-item reads fail).
+func (d *resDecoder) count(what string, max uint64) int {
+	v := d.u(what)
+	if d.err == nil && v > max {
+		d.err = fmt.Errorf("machine: implausible %s %d in result artifact", what, v)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return int(v)
+}

@@ -2,12 +2,20 @@
 // the command-line tools. Profiles must be flushed on every exit path —
 // including a context cancellation that aborts a sweep mid-run — so the
 // Profiler is stopped via defer and Stop is idempotent.
+//
+// Servers add a second demand the original batch-only design missed: a
+// SIGTERM handler races the deferred Stop on the main goroutine, so Stop
+// must also be safe to call concurrently. The first caller flushes, later
+// (and concurrent) callers observe the first flush's error — punoserve
+// flushes from its signal path before closing the listener, then calls
+// Stop again on the clean path to surface write errors.
 package prof
 
 import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 )
 
 // Profiler holds the state of an in-progress profiling session. The zero
@@ -15,7 +23,10 @@ import (
 type Profiler struct {
 	memPath string
 	cpuFile *os.File
+
+	mu      sync.Mutex
 	stopped bool
+	err     error // first flush's outcome, returned by every later Stop
 }
 
 // Start begins CPU profiling into cpuPath (when non-empty) and arranges
@@ -36,14 +47,26 @@ func Start(cpuPath, memPath string) (*Profiler, error) {
 	return p, nil
 }
 
-// Stop flushes both profiles. It is idempotent, so callers can defer it
-// for the cancellation path and also call it explicitly to surface write
-// errors on the clean path.
+// Stop flushes both profiles. It is idempotent and safe for concurrent
+// use: the first call (from any goroutine — a signal handler included)
+// performs the flush, and every subsequent call returns that flush's
+// error, so a clean-path Stop after a signal-path Stop still surfaces
+// write failures.
 func (p *Profiler) Stop() error {
-	if p == nil || p.stopped {
+	if p == nil {
 		return nil
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return p.err
+	}
 	p.stopped = true
+	p.err = p.flush()
+	return p.err
+}
+
+func (p *Profiler) flush() error {
 	var first error
 	if p.cpuFile != nil {
 		pprof.StopCPUProfile()

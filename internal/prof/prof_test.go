@@ -3,6 +3,7 @@ package prof
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -31,6 +32,63 @@ func TestStartStopWritesProfiles(t *testing.T) {
 		if fi.Size() == 0 {
 			t.Fatalf("profile %s is empty", path)
 		}
+	}
+}
+
+// A server's signal handler races the deferred Stop on the main goroutine;
+// both (and any stragglers) must be safe, with exactly one flush and every
+// caller seeing the same outcome. This is the punoserve drain path.
+func TestStopConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	p, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	const callers = 8
+	errs := make(chan error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- p.Stop()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent Stop: %v", err)
+		}
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+// A later Stop must report the first flush's error, not mask it with nil:
+// the clean path's explicit Stop is how write failures reach the user when
+// the signal path flushed first.
+func TestStopReportsFirstFlushError(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Start("", filepath.Join(dir, "no", "such", "dir", "mem.out"))
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	first := p.Stop()
+	if first == nil {
+		t.Fatal("Stop with unwritable mem path succeeded")
+	}
+	if second := p.Stop(); second == nil || second.Error() != first.Error() {
+		t.Fatalf("second Stop = %v, want the first flush's error %v", second, first)
 	}
 }
 

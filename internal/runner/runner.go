@@ -48,6 +48,22 @@ type Options struct {
 	Label func(i int) string
 }
 
+// AutoWorkers returns the automatic pool size for tasks that each occupy
+// taskThreads goroutines while running: GOMAXPROCS divided by taskThreads,
+// never below 1. It is the sizing rule MapWorkers applies when
+// Options.Workers <= 0, exported so long-lived pools (punoserve's worker
+// pool) size themselves identically to a one-shot sweep.
+func AutoWorkers(taskThreads int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if taskThreads > 1 {
+		workers /= taskThreads
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	return workers
+}
+
 // TaskError wraps a task failure with the index it occurred at.
 type TaskError struct {
 	Index int
@@ -91,13 +107,7 @@ func MapWorkers[S, T any](ctx context.Context, n int, opts Options, newState fun
 	}
 	workers := opts.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-		if opts.TaskThreads > 1 {
-			workers /= opts.TaskThreads
-			if workers < 1 {
-				workers = 1
-			}
-		}
+		workers = AutoWorkers(opts.TaskThreads)
 	}
 	if workers > n {
 		workers = n

@@ -359,3 +359,23 @@ func TestMapTaskThreadsShrinksAutoPool(t *testing.T) {
 		}
 	}
 }
+
+// AutoWorkers is the exported sizing rule; it must agree with what the
+// pool-state test above observes MapWorkers doing.
+func TestAutoWorkers(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct{ threads, want int }{
+		{0, procs},
+		{1, procs},
+		{procs, 1},
+		{procs * 8, 1},
+	}
+	if procs >= 4 {
+		cases = append(cases, struct{ threads, want int }{2, procs / 2})
+	}
+	for _, c := range cases {
+		if got := AutoWorkers(c.threads); got != c.want {
+			t.Errorf("AutoWorkers(%d) = %d, want %d", c.threads, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// benchSeed hands out seeds no test uses, so cold-path iterations never
+// collide with each other or with cached test artifacts.
+var benchSeed atomic.Uint64
+
+func init() { benchSeed.Store(1 << 32) }
+
+func benchService(b *testing.B) *Service {
+	b.Helper()
+	s, err := New(Options{CacheEntries: 1 << 16, QueueDepth: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Drain)
+	return s
+}
+
+// BenchmarkServe measures the three serving paths:
+//
+//   - cold: every iteration is a fresh key — full simulation cost;
+//   - warm: every iteration hits the primed cache — the headline claim is
+//     warm latency >= 100x below cold;
+//   - singleflight: 64 concurrent identical submissions per iteration,
+//     which must collapse onto exactly one simulation.
+func BenchmarkServe(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		s := benchService(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j, err := s.Submit(fastSpec(benchSeed.Add(1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st := waitTerminal(j); st != StateDone {
+				b.Fatalf("job ended %v", st)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := benchService(b)
+		spec := fastSpec(benchSeed.Add(1))
+		j, err := s.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := waitTerminal(j); st != StateDone {
+			b.Fatalf("priming run ended %v", st)
+		}
+		runs := s.Runs()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j, err := s.Submit(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !j.Cached {
+				b.Fatal("warm submission missed the cache")
+			}
+		}
+		b.StopTimer()
+		if got := s.Runs(); got != runs {
+			b.Fatalf("warm hits ran %d extra simulations", got-runs)
+		}
+	})
+	b.Run("singleflight", func(b *testing.B) {
+		s := benchService(b)
+		const clients = 64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runs := s.Runs()
+			spec := fastSpec(benchSeed.Add(1))
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					j, err := s.Submit(spec)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if st := waitTerminal(j); st != StateDone {
+						b.Errorf("job ended %v", st)
+					}
+				}()
+			}
+			wg.Wait()
+			if got := s.Runs(); got != runs+1 {
+				b.Fatalf("%d concurrent submissions ran %d simulations, want 1",
+					clients, got-runs)
+			}
+		}
+	})
+}

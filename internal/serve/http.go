@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	puno "repro"
+)
+
+// retryAfterSeconds is the constant backoff hint sent with 429 responses.
+// A simulation takes tens of milliseconds, so one second of client backoff
+// comfortably drains a full queue; a fixed value keeps the handler free of
+// wall-clock reads (the punovet wallclock invariant).
+const retryAfterSeconds = "1"
+
+// jobJSON is the wire rendering of a job.
+type jobJSON struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Key    string `json:"key"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+func renderJob(j *Job) jobJSON {
+	st, errMsg, _ := j.Snapshot()
+	return jobJSON{ID: j.ID, State: string(st), Key: j.Key.String(), Cached: j.Cached, Error: errMsg}
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a Spec; 200 terminal (cache hit),
+//	                            202 accepted, 400 bad spec, 429 queue full
+//	GET    /v1/jobs/{id}        job status; ?wait=1 long-polls to terminal
+//	GET    /v1/jobs/{id}/stream SSE state transitions until terminal
+//	GET    /v1/jobs/{id}/result punores/1 bytes; ?format=json decodes
+//	DELETE /v1/jobs/{id}        cancel (see Service.Cancel semantics)
+//	GET    /v1/results/{key}    artifact by content address
+//	GET    /v1/stats            layer counters
+//	GET    /healthz             liveness
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResultByKey)
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("malformed spec: %v", err))
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	status := http.StatusAccepted
+	if st, _, _ := job.Snapshot(); st.Terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, renderJob(job))
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		// Long-poll: block until the job is terminal or the client goes
+		// away. No timer — the client's context bounds the wait.
+		for {
+			st, _, changed := job.Snapshot()
+			if st.Terminal() {
+				break
+			}
+			select {
+			case <-changed:
+			case <-r.Context().Done():
+				writeJSON(w, http.StatusOK, renderJob(job))
+				return
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, renderJob(job))
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if !s.Cancel(r.PathValue("id")) {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	job, _ := s.Job(r.PathValue("id"))
+	writeJSON(w, http.StatusOK, renderJob(job))
+}
+
+// handleStream emits one SSE data event per observed job state, ending
+// after the terminal event. Transitions are edge-triggered off the job's
+// changed channel, so the stream costs nothing while the state holds.
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	var last JobState
+	for {
+		st, _, changed := job.Snapshot()
+		if st != last {
+			payload, _ := json.Marshal(renderJob(job))
+			fmt.Fprintf(w, "data: %s\n\n", payload)
+			fl.Flush()
+			last = st
+		}
+		if st.Terminal() {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Service) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	st, errMsg, _ := job.Snapshot()
+	switch st {
+	case StateDone:
+	case StateFailed:
+		httpError(w, http.StatusConflict, "job failed: "+errMsg)
+		return
+	case StateCanceled:
+		httpError(w, http.StatusConflict, "job canceled")
+		return
+	default:
+		httpError(w, http.StatusConflict, "job not finished; poll with ?wait=1")
+		return
+	}
+	s.serveArtifact(w, r, job.Key)
+}
+
+func (s *Service) handleResultByKey(w http.ResponseWriter, r *http.Request) {
+	key, err := ParseKey(r.PathValue("key"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.serveArtifact(w, r, key)
+}
+
+// serveArtifact writes the cached punores/1 bytes for key, decoded to JSON
+// on ?format=json. A done job's artifact can only be absent if the cache
+// was memory-only and the entry was evicted; 410 tells the client to
+// resubmit (which re-simulates deterministically).
+func (s *Service) serveArtifact(w http.ResponseWriter, r *http.Request, key Key) {
+	data, ok := s.cache.Get(key)
+	if !ok {
+		httpError(w, http.StatusGone, "result no longer cached; resubmit the spec")
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		res, err := puno.DecodeResult(data)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Puno-Key", key.String())
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	puno "repro"
+)
+
+// postSpec submits a spec over HTTP and decodes the job rendering.
+func postSpec(t *testing.T, ts *httptest.Server, sp Spec) (jobJSON, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var j jobJSON
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return j, resp
+}
+
+func getBody(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+// TestHTTPEndToEnd walks the whole client protocol: submit, long-poll to
+// terminal, fetch the artifact (byte-identical to a direct simulation),
+// refetch by content address, resubmit for a 200 cache hit, and decode to
+// JSON.
+func TestHTTPEndToEnd(t *testing.T) {
+	s := newTestService(t, Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := fastSpec(900)
+	j, resp := postSpec(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if j.ID == "" || j.Key == "" {
+		t.Fatalf("submit rendering incomplete: %+v", j)
+	}
+
+	// Long-poll until terminal.
+	code, _, body := getBody(t, ts.URL+"/v1/jobs/"+j.ID+"?wait=1")
+	if code != http.StatusOK {
+		t.Fatalf("poll status %d", code)
+	}
+	var polled jobJSON
+	if err := json.Unmarshal(body, &polled); err != nil {
+		t.Fatal(err)
+	}
+	if polled.State != string(StateDone) {
+		t.Fatalf("long-poll returned state %q", polled.State)
+	}
+
+	// The served artifact is byte-identical to a direct run's encoding.
+	rs, _, err := spec.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := puno.Run(rs.Config, rs.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := puno.EncodeResult(direct.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, hdr, got := getBody(t, ts.URL+"/v1/jobs/"+j.ID+"/result")
+	if code != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("result fetch: status %d, byte-equal %v", code, bytes.Equal(got, want))
+	}
+	if hdr.Get("X-Puno-Key") != j.Key {
+		t.Fatalf("artifact key header %q, job key %q", hdr.Get("X-Puno-Key"), j.Key)
+	}
+
+	// Content-addressed fetch serves the same bytes.
+	code, _, byKey := getBody(t, ts.URL+"/v1/results/"+j.Key)
+	if code != http.StatusOK || !bytes.Equal(byKey, want) {
+		t.Fatalf("fetch by key: status %d", code)
+	}
+
+	// Identical resubmission: 200 (not 202), cached, zero extra runs.
+	runs := s.Runs()
+	j2, resp2 := postSpec(t, ts, spec)
+	if resp2.StatusCode != http.StatusOK || !j2.Cached || j2.State != string(StateDone) {
+		t.Fatalf("resubmission: status %d, %+v", resp2.StatusCode, j2)
+	}
+	if s.Runs() != runs {
+		t.Fatal("cache-hit resubmission invoked the simulator")
+	}
+
+	// JSON rendering decodes to the same Result.
+	code, hdr, jsonBody := getBody(t, ts.URL+"/v1/results/"+j.Key+"?format=json")
+	if code != http.StatusOK || !strings.HasPrefix(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("json fetch: status %d, type %q", code, hdr.Get("Content-Type"))
+	}
+	var rendered struct {
+		Workload string `json:"Workload"`
+		Commits  uint64 `json:"Commits"`
+	}
+	if err := json.Unmarshal(jsonBody, &rendered); err != nil {
+		t.Fatal(err)
+	}
+	if rendered.Workload != direct.Workload || rendered.Commits != direct.Commits {
+		t.Fatalf("json rendering mismatch: %+v vs %s/%d", rendered, direct.Workload, direct.Commits)
+	}
+
+	// Stats reflect the traffic.
+	code, _, statsBody := getBody(t, ts.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	var st Stats
+	if err := json.Unmarshal(statsBody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 1 || st.Submitted != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, resp := postSpec(t, ts, Spec{Workload: "no-such"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad workload: status %d", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workload":"kmeans","bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", resp.StatusCode)
+	}
+	for _, path := range []string{"/v1/jobs/j999999", "/v1/jobs/j999999/result", "/v1/jobs/j999999/stream"} {
+		if code, _, _ := getBody(t, ts.URL+path); code != http.StatusNotFound {
+			t.Fatalf("%s: status %d", path, code)
+		}
+	}
+	if code, _, _ := getBody(t, ts.URL+"/v1/results/nothex"); code != http.StatusBadRequest {
+		t.Fatalf("malformed key: status %d", code)
+	}
+	var absent Key
+	absent[0] = 0xAB
+	if code, _, _ := getBody(t, ts.URL+"/v1/results/"+absent.String()); code != http.StatusGone {
+		t.Fatalf("absent key: status %d", code)
+	}
+}
+
+// TestHTTPBackpressure drives the full-queue path over the wire: the third
+// submission gets 429 with a Retry-After hint, and once the queue drains a
+// resubmission succeeds.
+func TestHTTPBackpressure(t *testing.T) {
+	s, gate := gatedService(t, Options{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(s.Drain)
+	t.Cleanup(ts.Close)
+
+	j1, resp := postSpec(t, ts, fastSpec(910))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", resp.StatusCode)
+	}
+	<-gate.arrived // worker holds j1's task
+	if _, resp := postSpec(t, ts, fastSpec(911)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: status %d", resp.StatusCode)
+	}
+	_, resp429 := postSpec(t, ts, fastSpec(912))
+	if resp429.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: status %d", resp429.StatusCode)
+	}
+	if got := resp429.Header.Get("Retry-After"); got != retryAfterSeconds {
+		t.Fatalf("Retry-After = %q", got)
+	}
+
+	gate.release <- struct{}{} // j1 simulates; queue slot frees
+	code, _, _ := getBody(t, ts.URL+"/v1/jobs/"+j1.ID+"?wait=1")
+	if code != http.StatusOK {
+		t.Fatalf("poll status %d", code)
+	}
+	<-gate.arrived // second task at the gate; slot is free again
+	if _, resp := postSpec(t, ts, fastSpec(912)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("retry after drain: status %d", resp.StatusCode)
+	}
+	gate.release <- struct{}{}
+	<-gate.arrived
+	gate.release <- struct{}{}
+}
+
+// TestHTTPCancelAndStream cancels a queued job over DELETE and verifies the
+// SSE stream replays the lifecycle of another to its terminal event.
+func TestHTTPCancelAndStream(t *testing.T) {
+	s, gate := gatedService(t, Options{Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(s.Drain)
+	t.Cleanup(ts.Close)
+
+	decoy, resp := postSpec(t, ts, fastSpec(920))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("decoy submit: status %d", resp.StatusCode)
+	}
+	<-gate.arrived // worker busy; next submissions stay queued
+
+	victim, _ := postSpec(t, ts, fastSpec(921))
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+victim.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", dresp.StatusCode)
+	}
+	code, _, body := getBody(t, ts.URL+"/v1/jobs/"+victim.ID+"?wait=1")
+	if code != http.StatusOK || !strings.Contains(string(body), string(StateCanceled)) {
+		t.Fatalf("canceled job poll: status %d, body %s", code, body)
+	}
+	if code, _, _ := getBody(t, ts.URL+"/v1/jobs/"+victim.ID+"/result"); code != http.StatusConflict {
+		t.Fatalf("canceled job result: status %d", code)
+	}
+
+	// Stream the decoy while releasing it. SSE is edge-triggered and may
+	// coalesce fast transitions, so the contract is: states are an ordered
+	// subsequence of queued → running → done, starting at the state the
+	// stream opened on and ending at the terminal event (cancellation
+	// above must not have touched this job).
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + decoy.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	go func() {
+		gate.release <- struct{}{} // decoy simulates
+		<-gate.arrived             // canceled victim's task reaches the worker
+		gate.release <- struct{}{} // ... and is skipped
+	}()
+	var states []string
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev jobJSON
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, ev.State)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	order := map[string]int{"queued": 0, "running": 1, "done": 2}
+	if len(states) == 0 || states[0] != "queued" || states[len(states)-1] != "done" {
+		t.Fatalf("stream states %v", states)
+	}
+	for i := 1; i < len(states); i++ {
+		if order[states[i]] <= order[states[i-1]] {
+			t.Fatalf("stream states out of order: %v", states)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	puno "repro"
+	"repro/internal/runner"
+)
+
+// ErrBusy is returned by TryEnqueue when the bounded queue is full. The
+// HTTP layer maps it to 429 + Retry-After: shedding load at submit time is
+// what keeps a cold-miss stampede from queueing unbounded simulation work.
+var ErrBusy = errors.New("serve: simulation queue full")
+
+// ErrDraining is returned once Drain has begun: the server is shutting
+// down and accepts no new work.
+var ErrDraining = errors.New("serve: server draining")
+
+// Pool is the persistent worker pool. Each worker goroutine owns one
+// reusable puno.Arena — the same Machine.Reset machinery a sweep worker
+// uses — so steady-state requests pay simulation time, not machine
+// construction. Sizing follows runner.AutoWorkers: a deployment expecting
+// sharded (PDES) specs sets taskThreads to the widest Config.Shards so the
+// pool does not oversubscribe the host.
+type Pool struct {
+	queue chan *Task
+	wg    sync.WaitGroup
+	runs  atomic.Uint64
+
+	mu     sync.RWMutex
+	closed bool
+
+	// gate, when non-nil (tests only), makes worker scheduling
+	// deterministic: a worker announces each dequeued task on arrived and
+	// holds until release, letting tests construct full-queue and
+	// cancellation interleavings without timing dependence.
+	gate *testGate
+}
+
+type testGate struct {
+	arrived chan struct{}
+	release chan struct{}
+}
+
+// Task is one unit of pool work. Ctx is the flight's detached context: a
+// worker consults it once, before starting, so cancellation stops queued
+// work but never wastes a simulation already in progress.
+type Task struct {
+	Ctx     context.Context
+	Spec    puno.RunSpec
+	OnStart func()
+	OnDone  func(res *puno.Result, err error)
+}
+
+// NewPool starts workers goroutines (<=0 sizes via
+// runner.AutoWorkers(taskThreads)) over a bounded queue of depth slots
+// (<=0 selects 4x the worker count).
+func NewPool(workers, taskThreads, depth int) *Pool {
+	return newPool(workers, taskThreads, depth, nil)
+}
+
+// newPool is NewPool plus the test gate; the gate is installed before any
+// worker starts, so workers may read it unsynchronized.
+func newPool(workers, taskThreads, depth int, gate *testGate) *Pool {
+	if workers <= 0 {
+		workers = runner.AutoWorkers(taskThreads)
+	}
+	if depth <= 0 {
+		depth = 4 * workers
+	}
+	p := &Pool{queue: make(chan *Task, depth), gate: gate}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	arena := puno.NewArena()
+	for t := range p.queue {
+		if g := p.gate; g != nil {
+			g.arrived <- struct{}{}
+			<-g.release
+		}
+		if err := t.Ctx.Err(); err != nil {
+			t.OnDone(nil, err)
+			continue
+		}
+		if t.OnStart != nil {
+			t.OnStart()
+		}
+		res, err := arena.Run(t.Spec)
+		p.runs.Add(1)
+		t.OnDone(res, err)
+	}
+}
+
+// TryEnqueue submits a task without blocking: ErrBusy when the queue is
+// full (the backpressure signal), ErrDraining after Drain has begun.
+func (p *Pool) TryEnqueue(t *Task) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrDraining
+	}
+	select {
+	case p.queue <- t:
+		return nil
+	default:
+		return ErrBusy
+	}
+}
+
+// Drain closes the queue and waits for the workers to finish. Tasks
+// already queued still execute — their results land in the cache, so work
+// accepted before shutdown is never thrown away — and every OnDone has
+// returned by the time Drain does.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Runs reports how many simulations the pool has executed — the counter
+// the smoke test and the singleflight benchmark assert against (a warm hit
+// or a collapsed flight must not advance it).
+func (p *Pool) Runs() uint64 { return p.runs.Load() }
+
+// QueueLen and QueueCap expose queue occupancy for /v1/stats.
+func (p *Pool) QueueLen() int { return len(p.queue) }
+func (p *Pool) QueueCap() int { return cap(p.queue) }

@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	puno "repro"
+)
+
+// ErrBadSpec wraps submission validation failures (HTTP 400).
+var ErrBadSpec = errors.New("serve: invalid spec")
+
+// Spec is the JSON body of a job submission: a named STAMP workload plus
+// the experiment knobs the sweep CLI exposes. Zero-valued fields keep the
+// paper's Table II defaults.
+type Spec struct {
+	Workload      string `json:"workload"`
+	Scheme        string `json:"scheme,omitempty"`
+	Seed          uint64 `json:"seed,omitempty"`
+	TxPerCPU      int    `json:"tx_per_cpu,omitempty"`
+	Nodes         int    `json:"nodes,omitempty"`
+	Shards        int    `json:"shards,omitempty"`
+	SignatureBits int    `json:"signature_bits,omitempty"`
+}
+
+// resolve validates the spec and produces the fully resolved run point:
+// the RunSpec the pool executes and the profile the cache key encodes.
+func (sp Spec) resolve() (puno.RunSpec, *puno.Profile, error) {
+	fail := func(format string, args ...any) (puno.RunSpec, *puno.Profile, error) {
+		return puno.RunSpec{}, nil, fmt.Errorf("%w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
+	}
+	wl, err := puno.WorkloadByName(sp.Workload)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if sp.TxPerCPU < 0 {
+		return fail("tx_per_cpu must be >= 0")
+	}
+	if sp.TxPerCPU > 0 {
+		wl = wl.WithTxPerCPU(sp.TxPerCPU)
+	}
+	cfg := puno.DefaultConfig()
+	if sp.Scheme != "" {
+		sch, err := puno.SchemeByName(sp.Scheme)
+		if err != nil {
+			return fail("%v", err)
+		}
+		cfg.Scheme = sch
+	}
+	if sp.Seed != 0 {
+		cfg.Seed = sp.Seed
+	}
+	if sp.Nodes != 0 {
+		w := 0
+		for w*w < sp.Nodes {
+			w++
+		}
+		if w*w != sp.Nodes {
+			return fail("nodes must be a perfect square (mesh is WxW), got %d", sp.Nodes)
+		}
+		cfg.Nodes = sp.Nodes
+		cfg.Mesh.Width = w
+		cfg.Mesh.Height = w
+	}
+	if sp.Shards < 0 {
+		return fail("shards must be >= 0")
+	}
+	cfg.Shards = sp.Shards
+	if sp.SignatureBits < 0 {
+		return fail("signature_bits must be >= 0")
+	}
+	cfg.SignatureBits = sp.SignatureBits
+	return puno.RunSpec{Config: cfg, Workload: wl}, wl, nil
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle states. queued → running → done|failed, or → canceled from
+// any non-terminal state.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job tracks one submission. Terminal result bytes live in the cache under
+// Key — the job itself carries only lifecycle state.
+type Job struct {
+	ID     string
+	Key    Key
+	Cached bool // resolved straight from the cache at submit time
+
+	mu      sync.Mutex
+	state   JobState
+	errMsg  string
+	changed chan struct{}      // closed and replaced on every transition
+	cancel  context.CancelFunc // detaches this job from its flight
+}
+
+// Snapshot returns the current state, the error message (failed jobs), and
+// a channel closed at the next transition — the wait primitive behind
+// long-polling and SSE.
+func (j *Job) Snapshot() (JobState, string, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg, j.changed
+}
+
+// setState advances the lifecycle; terminal states are sticky (a flight
+// completing after a job was canceled must not resurrect it).
+func (j *Job) setState(st JobState, msg string) {
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.state = st
+		j.errMsg = msg
+		close(j.changed)
+		j.changed = make(chan struct{})
+	}
+	j.mu.Unlock()
+}
+
+// Options configures a Service.
+type Options struct {
+	CacheEntries int    // in-memory LRU capacity (<=0: 1024)
+	CacheDir     string // disk tier root ("" disables)
+	Workers      int    // pool size (<=0: runner.AutoWorkers(TaskThreads))
+	TaskThreads  int    // widest Config.Shards expected, for pool sizing
+	QueueDepth   int    // bounded queue slots (<=0: 4x workers)
+	MaxJobs      int    // job registry cap (<=0: 4096)
+	CodeVersion  string // cache-key code version ("" : DetectCodeVersion)
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	CodeVersion string     `json:"code_version"`
+	Runs        uint64     `json:"runs"`
+	Submitted   uint64     `json:"submitted"`
+	Collapsed   uint64     `json:"collapsed_flights"`
+	Jobs        int        `json:"jobs"`
+	QueueLen    int        `json:"queue_len"`
+	QueueCap    int        `json:"queue_cap"`
+	Cache       CacheStats `json:"cache"`
+}
+
+// Service ties the three layers together behind Submit: cache probe, then
+// singleflight join, then pool enqueue — all synchronous, so backpressure
+// (ErrBusy) is reported on the submit path, before a job exists.
+type Service struct {
+	cache       *Cache
+	flights     *flightGroup
+	pool        *Pool
+	codeVersion string
+	maxJobs     int
+
+	watchers sync.WaitGroup // one per non-cached job; Drain waits on them
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string // insertion order, for capped-registry eviction
+	seq       uint64
+	submitted uint64
+	collapsed uint64
+}
+
+// New builds and starts a service (the pool's workers spin up
+// immediately).
+func New(opts Options) (*Service, error) {
+	return newService(opts, nil)
+}
+
+// newService is New plus the deterministic worker gate tests install.
+func newService(opts Options, gate *testGate) (*Service, error) {
+	cache, err := NewCache(opts.CacheEntries, opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	cv := opts.CodeVersion
+	if cv == "" {
+		cv = DetectCodeVersion()
+	}
+	maxJobs := opts.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = 4096
+	}
+	return &Service{
+		cache:       cache,
+		flights:     newFlightGroup(),
+		pool:        newPool(opts.Workers, opts.TaskThreads, opts.QueueDepth, gate),
+		codeVersion: cv,
+		maxJobs:     maxJobs,
+		jobs:        make(map[string]*Job),
+	}, nil
+}
+
+// Submit resolves a spec and returns its job. Three outcomes:
+//
+//   - cache hit: the job is born terminal (StateDone, Cached=true) — the
+//     simulator is never touched;
+//   - miss, flight exists: the job joins as a waiter (collapsed flight);
+//   - miss, no flight: the job's flight is created and its task enqueued —
+//     or, when the queue is full, Submit fails with ErrBusy and no job or
+//     flight is left behind.
+func (s *Service) Submit(spec Spec) (*Job, error) {
+	rs, prof, err := spec.resolve()
+	if err != nil {
+		return nil, err
+	}
+	key, err := BuildKey(s.codeVersion, rs.Config, prof)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.submitted++
+
+	if _, ok := s.cache.Get(key); ok {
+		job := s.newJobLocked(key)
+		job.Cached = true
+		job.setState(StateDone, "")
+		return job, nil
+	}
+
+	f, leader := s.flights.join(key)
+	if leader {
+		task := &Task{
+			Ctx:     f.ctx,
+			Spec:    rs,
+			OnStart: func() { close(f.started) },
+			OnDone: func(res *puno.Result, err error) {
+				var data []byte
+				if err == nil {
+					data, err = puno.EncodeResult(res)
+				}
+				if err == nil {
+					s.cache.Put(key, data)
+				}
+				s.flights.finish(f, data, err)
+			},
+		}
+		if err := s.pool.TryEnqueue(task); err != nil {
+			s.flights.abort(f)
+			return nil, err
+		}
+	} else {
+		s.collapsed++
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	job := s.newJobLocked(key)
+	job.cancel = cancel
+	s.watchers.Add(1)
+	go s.watch(job, f, ctx)
+	return job, nil
+}
+
+// watch follows a flight on a job's behalf: it relays the started and done
+// transitions, and on job cancellation withdraws the job's waiter stake
+// (cancelling the flight only if the job was the last one interested).
+func (s *Service) watch(job *Job, f *flight, ctx context.Context) {
+	defer s.watchers.Done()
+	started := f.started
+	for {
+		select {
+		case <-started:
+			job.setState(StateRunning, "")
+			started = nil // select ignores nil channels from here on
+		case <-f.done:
+			if f.err != nil {
+				job.setState(StateFailed, f.err.Error())
+			} else {
+				job.setState(StateDone, "")
+			}
+			return
+		case <-ctx.Done():
+			s.flights.leave(f)
+			job.setState(StateCanceled, "canceled by client")
+			return
+		}
+	}
+}
+
+// newJobLocked mints a job under s.mu, evicting the oldest terminal job
+// when the registry is at capacity (live jobs are never evicted).
+func (s *Service) newJobLocked(key Key) *Job {
+	if len(s.order) >= s.maxJobs {
+		for i, id := range s.order {
+			j := s.jobs[id]
+			st, _, _ := j.Snapshot()
+			if st.Terminal() {
+				delete(s.jobs, id)
+				if i == 0 {
+					// The common case (oldest job is terminal) must not
+					// memmove the whole registry on every submission once
+					// the cap is reached — at steady state that copy
+					// dominates the warm-hit path. Append reallocates the
+					// backing array once it fills, so the abandoned prefix
+					// is reclaimed amortized.
+					s.order = s.order[1:]
+				} else {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+				}
+				break
+			}
+		}
+	}
+	s.seq++
+	job := &Job{
+		ID:      fmt.Sprintf("j%06d", s.seq),
+		Key:     key,
+		state:   StateQueued,
+		changed: make(chan struct{}),
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	return job
+}
+
+// Job looks up a job by id.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a job: it detaches the job from its flight (see
+// flightGroup for what that does and does not stop) and marks it canceled.
+// Returns false for unknown ids; canceling an already-terminal job is a
+// no-op that still returns true.
+func (s *Service) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// Result fetches an artifact straight from the cache by key.
+func (s *Service) Result(k Key) ([]byte, bool) { return s.cache.Get(k) }
+
+// Runs reports the pool's simulation count.
+func (s *Service) Runs() uint64 { return s.pool.Runs() }
+
+// Stats snapshots every layer's counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	submitted, collapsed, jobs := s.submitted, s.collapsed, len(s.jobs)
+	s.mu.Unlock()
+	return Stats{
+		CodeVersion: s.codeVersion,
+		Runs:        s.pool.Runs(),
+		Submitted:   submitted,
+		Collapsed:   collapsed,
+		Jobs:        jobs,
+		QueueLen:    s.pool.QueueLen(),
+		QueueCap:    s.pool.QueueCap(),
+		Cache:       s.cache.Stats(),
+	}
+}
+
+// Drain stops accepting work, waits for queued tasks to finish (their
+// results land in the cache; see Pool.Drain), and waits for every job to
+// settle into a terminal state. Call after the HTTP listener has stopped
+// accepting requests: once the pool is drained every flight has finished,
+// so the watchers it waits on are all on their way out.
+func (s *Service) Drain() {
+	s.pool.Drain()
+	s.watchers.Wait()
+}

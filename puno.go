@@ -152,6 +152,20 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	return m.Run()
 }
 
+// SchemeByName resolves a case-insensitive scheme name ("Baseline",
+// "Backoff", "RMW-Pred", "PUNO", …) to its Scheme value.
+func SchemeByName(name string) (Scheme, error) { return machine.SchemeByName(name) }
+
+// EncodeResult renders r in the deterministic punores/1 binary format —
+// the artifact the content-addressed result cache (internal/serve) stores.
+// Encoding is canonical: byte equality of encodings is value equality of
+// Results.
+func EncodeResult(r *Result) ([]byte, error) { return machine.EncodeResult(r) }
+
+// DecodeResult decodes a punores/1 artifact, rejecting truncation and
+// corruption via the trailing checksum.
+func DecodeResult(raw []byte) (*Result, error) { return machine.DecodeResult(raw) }
+
 // Workloads returns the eight STAMP-profile workloads in Table I order.
 func Workloads() []*Profile { return stamp.All() }
 
